@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table benches: option parsing (--quick for
+// CI-sized runs), paper-reference constants, and output formatting.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "report/table.h"
+
+namespace meek::bench {
+
+struct bench_options {
+    bool quick = false;       // smaller dynamic instruction counts
+    u64 instructions = 200'000;
+    u32 faults_per_workload = 400;
+
+    static bench_options parse(int argc, char** argv) {
+        bench_options o;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--quick") == 0) {
+                o.quick = true;
+                o.instructions = 60'000;
+                o.faults_per_workload = 80;
+            }
+            if (std::strcmp(argv[i], "--full") == 0) {
+                o.instructions = 500'000;
+                o.faults_per_workload = 2'000;
+            }
+        }
+        return o;
+    }
+};
+
+inline std::string fmt(double v, int decimals = 3) {
+    return format_fixed(v, decimals);
+}
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+    std::printf("==================================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("Paper reference: %s\n", paper_claim);
+    std::printf("==================================================================\n");
+}
+
+inline void check_shape(const char* what, bool holds) {
+    std::printf("[shape] %-58s %s\n", what, holds ? "OK" : "DEVIATES");
+}
+
+}  // namespace meek::bench

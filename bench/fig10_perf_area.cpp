@@ -1,0 +1,126 @@
+// Figure 10: performance/area of the optimized little core (8-unroll
+// divider, 3-stage pipelined FPU) vs the default Rocket, normalized, on the
+// PARSEC verification jobs.
+//
+// Paper: +15.2% geomean perf/area, up to +19.5%; four optimized little cores
+// match six default ones for the verification job (Sec. V-D).
+#include "bench_common.h"
+#include "area/area_model.h"
+#include "report/runner.h"
+
+using namespace meek;
+using namespace meek::bench;
+
+namespace {
+
+// Verification throughput: replayed instructions per *compute* low-domain
+// cycle, aggregated over all little cores during a MEEK run. Cycles spent
+// waiting for data (LSL empty, SRCP busy-wait, the one-behind rule) measure
+// the producer, not the checker, and are excluded — Fig. 10 compares the
+// core's capability for the verification job.
+double verification_throughput(const soc_config& cfg, const workload_profile& p,
+                               u64 instructions) {
+    const generated_workload wl = generate_workload(p, instructions, 0xF16);
+    meek_soc soc(cfg);
+    soc.load_program(wl.prog);
+    soc.run();
+    u64 replayed = 0;
+    cycle_t compute = 0;
+    for (u32 i = 0; i < cfg.num_little_cores; ++i) {
+        const little_core_stats& s = soc.little(i).stats();
+        replayed += s.replayed_instructions;
+        const cycle_t waits = s.stall_lsl_empty + s.stall_watermark + s.stall_srcp;
+        compute += s.busy_cycles > waits ? s.busy_cycles - waits : 0;
+    }
+    return compute == 0 ? 0.0
+                        : static_cast<double>(replayed) / static_cast<double>(compute);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bench_options opts = bench_options::parse(argc, argv);
+    print_header("Figure 10: little-core performance/area (PARSEC verification)",
+                 "optimized vs default Rocket: +15.2% geomean, up to +19.5%; "
+                 "4 optimized ~= 6 default");
+
+    const area_model areas;
+    little_core_config def_cfg;
+    def_cfg.tuning = little_core_tuning::default_rocket;
+    little_core_config opt_cfg;
+    opt_cfg.tuning = little_core_tuning::optimized;
+
+    const double def_area = areas.little_core_area(def_cfg) + areas.little_wrapper_area();
+    const double opt_area = areas.little_core_area(opt_cfg) + areas.little_wrapper_area();
+    std::printf("little-core area (incl. wrapper): default %.3f mm2, optimized %.3f mm2\n\n",
+                def_area, opt_area);
+
+    text_table table({"workload", "GIPS default", "GIPS optimized", "perf ratio",
+                      "perf/area ratio"});
+    std::vector<std::vector<std::string>> csv_rows;
+    std::vector<double> pa_ratios;
+    double max_ratio = 0.0;
+
+    for (const workload_profile& p : parsec_profiles()) {
+        soc_config def_soc;
+        def_soc.little = def_cfg;
+        const double thr_def =
+            verification_throughput(def_soc, p, opts.instructions) *
+            static_cast<double>(def_cfg.achievable_freq_mhz());
+
+        soc_config opt_soc;
+        opt_soc.little = opt_cfg;
+        const double thr_opt =
+            verification_throughput(opt_soc, p, opts.instructions) *
+            static_cast<double>(opt_cfg.achievable_freq_mhz());
+
+        const double perf_ratio = thr_def > 0 ? thr_opt / thr_def : 0.0;
+        const double pa_ratio = perf_ratio * (def_area / opt_area);
+        pa_ratios.push_back(pa_ratio);
+        max_ratio = std::max(max_ratio, pa_ratio);
+
+        table.add_row({p.name, fmt(thr_def / 1000.0), fmt(thr_opt / 1000.0),
+                       fmt(perf_ratio), fmt(pa_ratio)});
+        csv_rows.push_back({p.name, fmt(thr_def), fmt(thr_opt), fmt(perf_ratio),
+                            fmt(pa_ratio)});
+        std::fflush(stdout);
+    }
+
+    const double gm = geomean(pa_ratios);
+    table.add_separator();
+    table.add_row({"geomean", "", "", "", fmt(gm)});
+    std::printf("%s\n", table.render().c_str());
+    write_csv("fig10_perf_area.csv",
+              {"workload", "thr_default", "thr_optimized", "perf_ratio",
+               "perf_area_ratio"},
+              csv_rows);
+
+    // Sec. V-D claim: 4 optimized little cores match 6 default ones.
+    std::vector<double> opt4;
+    std::vector<double> def6;
+    for (const workload_profile& p : parsec_profiles()) {
+        soc_config c4;
+        c4.num_little_cores = 4;
+        c4.little = opt_cfg;
+        opt4.push_back(measure_meek(c4, p, opts.instructions / 2).slowdown);
+        soc_config c6;
+        c6.num_little_cores = 6;
+        c6.little = def_cfg;
+        def6.push_back(measure_meek(c6, p, opts.instructions / 2).slowdown);
+    }
+    const double gm4 = geomean(opt4);
+    const double gm6 = geomean(def6);
+    std::printf("4 optimized little cores: slowdown geomean %s\n", fmt(gm4).c_str());
+    std::printf("6 default   little cores: slowdown geomean %s\n\n", fmt(gm6).c_str());
+
+    std::printf("paper:    perf/area +15.2%% geomean, max +19.5%%\n");
+    std::printf("measured: perf/area %s geomean, max %s\n\n",
+                format_percent(gm - 1.0, 1).c_str(),
+                format_percent(max_ratio - 1.0, 1).c_str());
+
+    check_shape("optimized little core wins on perf/area (geomean > 1)", gm > 1.0);
+    check_shape("perf/area gain in the 5-35% band", gm > 1.05 && gm < 1.35);
+    check_shape("4 optimized cores roughly match 6 default cores",
+                gm4 < gm6 + 0.05);
+    return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 7: detection-latency density with 4 little cores over PARSEC.
+//
+// Paper: 5,000-10,000 random faults per workload injected into the data
+// forwarded from the F2; average latency below 1 us; worst case 5-10x the
+// average (up to ~2.7 us, ferret); 3 us covers > 99.9% of faults.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "fault/campaign.h"
+#include "report/table.h"
+#include "workloads/generator.h"
+
+using namespace meek;
+using namespace meek::bench;
+
+int main(int argc, char** argv) {
+    const bench_options opts = bench_options::parse(argc, argv);
+    print_header("Figure 7: detection latency (4 little cores, PARSEC)",
+                 "mean < 1 us; worst 5-10x mean (<= ~2.7 us); 3 us covers > 99.9%");
+
+    soc_config cfg;
+    cfg.num_little_cores = 4;
+
+    text_table table({"workload", "faults", "detected", "mean ns", "p99 ns",
+                      "max ns", "<3us"});
+    std::vector<std::vector<std::string>> csv_rows;
+
+    double worst_mean = 0.0;
+    double worst_max = 0.0;
+    u64 total_detected = 0;
+    u64 total_within_3us = 0;
+
+    std::printf("density per workload (bins of 200 ns, normalized):\n");
+    for (const workload_profile& p : parsec_profiles()) {
+        fault_campaign_config fc;
+        fc.num_faults = opts.faults_per_workload;
+        fc.seed = 0x5eed + p.name.size();
+        const u64 needed =
+            static_cast<u64>(fc.num_faults) * (fc.gap_instructions + 2'000) + 50'000;
+        const generated_workload wl = generate_workload(p, needed, 11);
+        const campaign_result result = run_fault_campaign(cfg, wl.prog, fc);
+
+        const histogram h = latency_histogram(result, 3200.0, 16);
+        u64 within = 0;
+        for (const fault_record& f : result.faults) {
+            if (f.detected && f.latency_cycles() * 0.3125 <= 3000.0) ++within;
+        }
+        total_detected += result.detected;
+        total_within_3us += within;
+
+        const double mean = result.latency_ns.mean();
+        const double mx = result.latency_ns.max();
+        worst_mean = std::max(worst_mean, mean);
+        worst_max = std::max(worst_max, mx);
+        table.add_row({p.name, std::to_string(result.faults.size()),
+                       std::to_string(result.detected), fmt(mean, 0),
+                       fmt(h.quantile(0.99), 0), fmt(mx, 0),
+                       format_percent(result.detected
+                                          ? static_cast<double>(within) /
+                                                static_cast<double>(result.detected)
+                                          : 0.0,
+                                      2)});
+
+        // Density row (the paper's figure is a per-workload density curve).
+        std::printf("  %-14s |", p.name.c_str());
+        const auto density = h.density();
+        for (double d : density) {
+            const char* glyph = d > 0.30 ? "#" : d > 0.10 ? "+" : d > 0.01 ? "." : " ";
+            std::printf("%s", glyph);
+        }
+        std::printf("| (0..3200 ns)\n");
+
+        std::vector<std::string> row{p.name};
+        for (std::size_t i = 0; i < h.num_bins(); ++i) {
+            row.push_back(fmt(density[i], 4));
+        }
+        csv_rows.push_back(std::move(row));
+        std::fflush(stdout);
+    }
+
+    std::printf("\n%s\n", table.render().c_str());
+
+    std::vector<std::string> header{"workload"};
+    for (int i = 0; i < 16; ++i) header.push_back("bin" + std::to_string(i * 200) + "ns");
+    write_csv("fig7_latency_density.csv", header, csv_rows);
+
+    const double coverage = total_detected == 0
+                                ? 0.0
+                                : static_cast<double>(total_within_3us) /
+                                      static_cast<double>(total_detected);
+    std::printf("paper:    mean < 1000 ns, worst <= ~2700 ns, 3 us covers > 99.9%%\n");
+    std::printf("measured: worst mean %s ns, worst max %s ns, 3 us covers %s\n\n",
+                fmt(worst_mean, 0).c_str(), fmt(worst_max, 0).c_str(),
+                format_percent(coverage, 2).c_str());
+
+    check_shape("average detection latency below 1 us", worst_mean < 1000.0);
+    check_shape("worst case within ~3 us", worst_max <= 3200.0);
+    check_shape("3 us covers > 99% of detected faults", coverage > 0.99);
+    return 0;
+}

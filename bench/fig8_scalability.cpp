@@ -1,0 +1,66 @@
+// Figure 8: slowdown with varying little-core counts (2 / 4 / 6) on PARSEC.
+//
+// Paper: 2 cores -> 54.9% geomean; 4 cores -> 4.4%; 6 cores -> 0.3% with all
+// workloads under 1%. The decline is superlinear in the core count.
+#include <array>
+
+#include "bench_common.h"
+#include "report/runner.h"
+
+using namespace meek;
+using namespace meek::bench;
+
+int main(int argc, char** argv) {
+    const bench_options opts = bench_options::parse(argc, argv);
+    print_header("Figure 8: slowdown vs number of little cores (PARSEC)",
+                 "geomean 1.549 @2-core, 1.044 @4-core, 1.003 @6-core");
+
+    constexpr std::array<u32, 3> core_counts = {2, 4, 6};
+    text_table table({"workload", "2-core", "4-core", "6-core"});
+    std::vector<std::vector<std::string>> csv_rows;
+    std::array<std::vector<double>, 3> per_count;
+
+    for (const workload_profile& p : parsec_profiles()) {
+        std::vector<std::string> cells{p.name};
+        std::vector<std::string> csv{p.name};
+        for (std::size_t i = 0; i < core_counts.size(); ++i) {
+            soc_config cfg;
+            cfg.num_little_cores = core_counts[i];
+            const meek_measurement m = measure_meek(cfg, p, opts.instructions);
+            per_count[i].push_back(m.slowdown);
+            cells.push_back(fmt(m.slowdown));
+            csv.push_back(fmt(m.slowdown));
+        }
+        table.add_row(cells);
+        csv_rows.push_back(csv);
+        std::fflush(stdout);
+    }
+
+    table.add_separator();
+    std::array<double, 3> gm{};
+    {
+        std::vector<std::string> cells{"geomean"};
+        for (std::size_t i = 0; i < core_counts.size(); ++i) {
+            gm[i] = geomean(per_count[i]);
+            cells.push_back(fmt(gm[i]));
+        }
+        table.add_row(cells);
+    }
+    std::printf("%s\n", table.render().c_str());
+    write_csv("fig8_scalability.csv", {"workload", "c2", "c4", "c6"}, csv_rows);
+
+    std::printf("paper:    geomean 1.549 (2c)  1.044 (4c)  1.003 (6c)\n");
+    std::printf("measured: geomean %s (2c)  %s (4c)  %s (6c)\n\n", fmt(gm[0]).c_str(),
+                fmt(gm[1]).c_str(), fmt(gm[2]).c_str());
+
+    check_shape("slowdown decreases with little-core count",
+                gm[0] > gm[1] && gm[1] > gm[2]);
+    check_shape("2-core overhead is severe (> 15%)", gm[0] > 1.15);
+    check_shape("4-core overhead is small (< 10%)", gm[1] < 1.10);
+    check_shape("6-core overhead is negligible (< 2%)", gm[2] < 1.02);
+    // Superlinear decline: the overhead drop from 2->4 exceeds a linear
+    // extrapolation of the drop from 4->6.
+    check_shape("decline in overhead is superlinear",
+                (gm[0] - gm[1]) > 2.0 * (gm[1] - gm[2]));
+    return 0;
+}

@@ -1,0 +1,102 @@
+// Simulator micro-benchmarks (google-benchmark): raw component throughput of
+// the models themselves — useful for gauging how long the figure benches
+// take and for catching performance regressions in the simulator.
+#include <benchmark/benchmark.h>
+
+#include "bpred/tage.h"
+#include "isa/assembler.h"
+#include "mem/cache.h"
+#include "meek/soc.h"
+#include "report/runner.h"
+#include "workloads/generator.h"
+
+namespace meek {
+namespace {
+
+void bm_big_core_simulation(benchmark::State& state) {
+    const auto wl = generate_workload(*find_profile("hmmer"), 50'000, 1);
+    u64 instructions = 0;
+    for (auto _ : state) {
+        const system_run r = run_on_big_core(big_core_config{}, wl.prog);
+        instructions += r.instructions;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["sim_instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_big_core_simulation)->Unit(benchmark::kMillisecond);
+
+void bm_meek_soc_simulation(benchmark::State& state) {
+    const auto wl = generate_workload(*find_profile("hmmer"), 50'000, 1);
+    u64 instructions = 0;
+    for (auto _ : state) {
+        meek_soc soc{soc_config{}};
+        soc.load_program(wl.prog);
+        const auto r = soc.run();
+        instructions += r.big.instructions;
+        benchmark::DoNotOptimize(r.big.cycles);
+    }
+    state.counters["sim_instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_meek_soc_simulation)->Unit(benchmark::kMillisecond);
+
+void bm_tage_predict_update(benchmark::State& state) {
+    tage_predictor tage{branch_predictor_config{}};
+    u64 pc = 0x1000;
+    u64 lfsr = 0xACE1;
+    for (auto _ : state) {
+        const tage_prediction pred = tage.predict(pc);
+        lfsr = (lfsr >> 1) ^ (-(lfsr & 1u) & 0xB400u);
+        tage.update(pc, pred, (lfsr & 3) != 0);
+        pc = 0x1000 + (lfsr % 512) * 8;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_tage_predict_update);
+
+void bm_cache_access(benchmark::State& state) {
+    cache_config cfg{"bench-L1", 32 * 1024, 4, 64, 8, 2};
+    cache_model cache(cfg);
+    u64 addr = 0;
+    cycle_t now = 0;
+    for (auto _ : state) {
+        addr = (addr + 4096 + 64) & ((1u << 22) - 1);
+        const auto r = cache.access(addr, false, now, [&] { return now + 20; });
+        benchmark::DoNotOptimize(r.complete_at);
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_cache_access);
+
+void bm_assembler(benchmark::State& state) {
+    const std::string source = R"(
+        li x1, 1000
+    loop:
+        addi x1, x1, -1
+        ld x8, 0(x3)
+        xor x11, x11, x8
+        sd x11, 8(x3)
+        bne x1, x0, loop
+        halt
+    )";
+    for (auto _ : state) {
+        const program p = assemble(source);
+        benchmark::DoNotOptimize(p.size());
+    }
+}
+BENCHMARK(bm_assembler)->Unit(benchmark::kMicrosecond);
+
+void bm_workload_generation(benchmark::State& state) {
+    for (auto _ : state) {
+        const auto wl = generate_workload(*find_profile("dedup"), 100'000, 2);
+        benchmark::DoNotOptimize(wl.prog.size());
+    }
+}
+BENCHMARK(bm_workload_generation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace meek
+
+BENCHMARK_MAIN();

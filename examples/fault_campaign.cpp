@@ -1,0 +1,87 @@
+// Fault-injection campaign walkthrough: sweep the injection target classes
+// (memory data, memory addresses, RCP status words) on one workload and
+// report detection rates and latency statistics per class — the scenario
+// behind the paper's Fig. 7 and its ">99.9% of faults within 3 us" claim.
+//
+//   $ ./examples/fault_campaign [workload]     (default: streamcluster)
+#include <cstdio>
+#include <string>
+
+#include "fault/campaign.h"
+#include "workloads/generator.h"
+
+using namespace meek;
+
+namespace {
+
+const char* target_name(fault_target t) {
+    switch (t) {
+        case fault_target::any: return "any forwarded field";
+        case fault_target::runtime_data: return "memory/CSR data";
+        case fault_target::runtime_addr: return "memory addresses";
+        case fault_target::status_word: return "RCP status words";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string name = argc > 1 ? argv[1] : "streamcluster";
+    const workload_profile* profile = find_profile(name);
+    if (profile == nullptr) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+        std::fprintf(stderr, "available:");
+        for (const auto& p : spec06_profiles()) std::fprintf(stderr, " %s", p.name.c_str());
+        for (const auto& p : parsec_profiles()) std::fprintf(stderr, " %s", p.name.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+
+    soc_config cfg;  // Table II defaults, 4 little cores
+    std::printf("fault campaign on '%s' (4 little cores)\n\n", name.c_str());
+
+    for (const fault_target target :
+         {fault_target::runtime_data, fault_target::runtime_addr,
+          fault_target::status_word, fault_target::any}) {
+        fault_campaign_config fc;
+        fc.num_faults = 150;
+        fc.target = target;
+        fc.seed = 99;
+        const u64 needed = fc.num_faults * (fc.gap_instructions + 2000) + 50'000;
+        const generated_workload wl = generate_workload(*profile, needed, 3);
+        const campaign_result result = run_fault_campaign(cfg, wl.prog, fc);
+
+        std::printf("target: %-22s injected %zu  detected %llu (%s)\n",
+                    target_name(target), result.faults.size(),
+                    static_cast<unsigned long long>(result.detected),
+                    format_percent(result.detection_rate(), 1).c_str());
+        if (result.detected > 0) {
+            std::printf("        latency mean %.0f ns  min %.0f  max %.0f  "
+                        "stddev %.0f\n",
+                        result.latency_ns.mean(), result.latency_ns.min(),
+                        result.latency_ns.max(), result.latency_ns.stddev());
+        }
+
+        // Detection-mechanism breakdown: which comparison fired.
+        u64 by_kind[16] = {};
+        for (const fault_record& f : result.faults) {
+            if (f.detected) ++by_kind[static_cast<int>(f.kind)];
+        }
+        const char* kind_names[] = {"none",       "load-addr", "store-addr",
+                                    "store-data", "csr",       "log-kind",
+                                    "ercp",       "control",   "parity"};
+        std::printf("        detected by:");
+        for (int k = 1; k <= 8; ++k) {
+            if (by_kind[k] > 0) {
+                std::printf(" %s=%llu", kind_names[k],
+                            static_cast<unsigned long long>(by_kind[k]));
+            }
+        }
+        std::printf("\n\n");
+    }
+
+    std::printf("note: 'any' mirrors the paper's Fig. 7 methodology — random bit\n"
+                "flips across addresses, data and architectural register words.\n");
+    return 0;
+}

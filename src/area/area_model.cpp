@@ -1,0 +1,103 @@
+#include "area/area_model.h"
+
+#include <cmath>
+
+namespace meek {
+namespace {
+
+// Baseline (Table II BOOM) reference values the component areas are
+// normalized against.
+constexpr double k_ref_width = 4.0;
+constexpr double k_ref_rob = 128.0;
+constexpr double k_ref_iq = 96.0;
+constexpr double k_ref_prf = 128.0;
+constexpr double k_ref_lsq = 64.0;  // LDQ + STQ entries
+constexpr double k_ref_l1_kb = 32.0;
+constexpr double k_ref_btb = 256.0;
+constexpr double k_ref_tage = 1024.0;
+
+double width_factor(double width) { return std::sqrt(width / k_ref_width); }
+
+}  // namespace
+
+std::vector<area_breakdown_entry> area_model::big_core_breakdown(
+    const big_core_config& cfg) const {
+    const double w = cfg.decode_width;
+    const double bp =
+        (0.5 * cfg.bpred.btb_entries / k_ref_btb +
+         0.5 * cfg.bpred.tage_tables * cfg.bpred.tage_entries_per_table /
+             (6.0 * k_ref_tage));
+    // Component baselines sum to 2.811 mm² at the Table II configuration.
+    return {
+        {"front-end", 0.30 * (w / k_ref_width)},
+        {"branch-predictor", 0.25 * bp},
+        {"rename+rob", 0.28 * (cfg.rob_entries / k_ref_rob) * width_factor(w)},
+        {"issue-queue", 0.30 * (cfg.iq_entries / k_ref_iq) * width_factor(w)},
+        {"int-prf", 0.18 * (cfg.phys_int_regs / k_ref_prf) * width_factor(w)},
+        {"fp-prf", 0.20 * (cfg.phys_fp_regs / k_ref_prf) * width_factor(w)},
+        {"int-fus", 0.15 * (cfg.int_alus / 2.0)},
+        {"fp-fus", 0.35 * (cfg.fp_alus / 1.0)},
+        {"lsq", 0.16 * ((cfg.ldq_entries + cfg.stq_entries) / k_ref_lsq)},
+        {"mem-ports", 0.10 * (cfg.mem_ports / 2.0)},
+        {"l1i", 0.27 * (cfg.l1i.size_bytes / 1024.0 / k_ref_l1_kb)},
+        {"l1d", 0.27 * (cfg.l1d.size_bytes / 1024.0 / k_ref_l1_kb)},
+    };
+}
+
+double area_model::big_core_area(const big_core_config& cfg) const {
+    double total = 0.0;
+    for (const auto& entry : big_core_breakdown(cfg)) total += entry.mm2;
+    return total;
+}
+
+double area_model::little_core_area(const little_core_config& cfg) const {
+    // Default Rocket: 5-stage pipeline 0.030, FPU 0.014, 1-bit/cycle divider
+    // 0.004, 4 KB L1I 0.012, CSR/misc 0.018  => 0.078 mm².
+    // Optimized: 8-unroll divider 0.012, 3-stage pipelined FPU 0.020 => 0.092.
+    const double pipeline = 0.030;
+    const double l1i = 0.012 * (cfg.l1i.size_bytes / 4096.0);
+    const double misc = 0.018;
+    const double divider = 0.004 * (1.0 + (cfg.div_unroll() - 1) / 3.5);
+    const double fpu =
+        cfg.tuning == little_core_tuning::optimized ? 0.020 : 0.014;
+    return pipeline + l1i + misc + divider + fpu;
+}
+
+double area_model::meek_extra_area(const soc_config& cfg) const {
+    return deu_area() + f2_area() +
+           cfg.num_little_cores *
+               (little_core_area(cfg.little) + little_wrapper_area());
+}
+
+double area_model::meek_overhead_fraction(const soc_config& cfg) const {
+    return meek_extra_area(cfg) / big_core_area(cfg.big);
+}
+
+double area_model::scale_area(double area_mm2, u32 from_nm, u32 to_nm) {
+    const double ratio = static_cast<double>(to_nm) / static_cast<double>(from_nm);
+    return area_mm2 * ratio * ratio;
+}
+
+double area_model::ea_lockstep_scale(const soc_config& cfg) const {
+    const double big = big_core_area(cfg.big);
+    const double target_per_core = (big + meek_extra_area(cfg)) / 2.0;
+    // Bisection over the linear interpolation factor.
+    double lo = 0.1;
+    double hi = 1.0;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double area = big_core_area(cfg.big.scaled(mid));
+        if (area < target_per_core) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+big_core_config area_model::ea_lockstep_config(const soc_config& cfg) const {
+    return cfg.big.scaled(ea_lockstep_scale(cfg));
+}
+
+}  // namespace meek

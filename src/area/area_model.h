@@ -1,0 +1,55 @@
+// McPAT-style analytical area model, calibrated to the paper's TSMC-28nm
+// synthesis anchors (Table III):
+//   BOOM (Table II config)            2.811 mm²
+//   optimized Rocket (excl. L1 D$)    0.092 mm²   (default Rocket: 0.078)
+//   DEU                               0.071 mm²
+//   F2                                0.051 mm²
+//   per-little-core wrapper (LSL+MSU) 0.059 mm²
+//   MEEK total extra (4 little cores) 0.726 mm²  = 25.8% of BOOM
+//
+// Component areas scale with the structure sizes in big_core_config, which
+// is what lets the EA-LockStep solver find the area-equivalent scaled core.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+
+namespace meek {
+
+struct area_breakdown_entry {
+    std::string component;
+    double mm2 = 0.0;
+};
+
+class area_model {
+public:
+    // Big OoO core area (mm² @ 28 nm), including L1 caches.
+    double big_core_area(const big_core_config& cfg) const;
+    std::vector<area_breakdown_entry> big_core_breakdown(
+        const big_core_config& cfg) const;
+
+    // Little core area excluding the L1 D$ (not needed for re-execution).
+    double little_core_area(const little_core_config& cfg) const;
+
+    double deu_area() const { return 0.071; }
+    double f2_area() const { return 0.051; }
+    double little_wrapper_area() const { return 0.059; }  // LSL + MSU
+
+    // Everything MEEK adds on top of the bare big core.
+    double meek_extra_area(const soc_config& cfg) const;
+    // Extra area as a fraction of the big core (the paper's 25.8%).
+    double meek_overhead_fraction(const soc_config& cfg) const;
+
+    // First-order technology scaling: area ~ (feature size)².
+    static double scale_area(double area_mm2, u32 from_nm, u32 to_nm);
+
+    // EA-LockStep construction (Sec. V-A): find the linear per-component
+    // scale factor such that two scaled cores occupy the same silicon as one
+    // big core plus the MEEK machinery. Returns the scaled configuration.
+    big_core_config ea_lockstep_config(const soc_config& cfg) const;
+    double ea_lockstep_scale(const soc_config& cfg) const;
+};
+
+}  // namespace meek

@@ -1,0 +1,40 @@
+// nZDC-style software error-detection baseline (Didehban & Shrivastava,
+// DAC'16): every computational instruction is duplicated into a shadow
+// register file (x16..x31 / f16..f31), load results are copied into the
+// shadow set, and the operands of every store and branch are compared
+// against their shadows right before use; a mismatch branches to a fault
+// handler. The transformed program runs on the vanilla big core — the
+// slowdown relative to the original program is the Fig. 6 Nzdc series.
+//
+// Programs must keep architectural registers below x16/f16 (the workload
+// generator's convention) so the shadow set is free.
+#pragma once
+
+#include "isa/program.h"
+
+namespace meek {
+
+struct nzdc_stats {
+    u64 original_instructions = 0;
+    u64 transformed_instructions = 0;
+    u64 duplicated = 0;
+    u64 compares_inserted = 0;
+
+    double expansion() const {
+        return original_instructions == 0
+                   ? 1.0
+                   : static_cast<double>(transformed_instructions) /
+                         static_cast<double>(original_instructions);
+    }
+};
+
+struct nzdc_program {
+    program prog;
+    nzdc_stats stats;
+    addr_t fault_handler_pc = 0;
+};
+
+// Throws std::invalid_argument if the program uses registers >= 16.
+nzdc_program transform_nzdc(const program& input);
+
+}  // namespace meek

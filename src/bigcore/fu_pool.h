@@ -1,0 +1,82 @@
+// Functional-unit scheduling for the OoO core. Each unit instance tracks the
+// next cycle it can accept work; pipelined units free their issue slot after
+// one cycle, unpipelined units (the iterative divider) block for the full
+// latency.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "isa/opcodes.h"
+
+namespace meek {
+
+struct fu_latency {
+    u32 latency = 1;
+    bool pipelined = true;
+};
+
+// BOOM-class execution latencies for the big core.
+inline fu_latency big_core_latency(op_class c) {
+    switch (c) {
+        case op_class::int_alu: return {1, true};
+        case op_class::int_mul: return {3, true};
+        case op_class::int_div: return {12, false};
+        case op_class::fp_alu: return {4, true};
+        case op_class::fp_mul: return {4, true};
+        case op_class::fp_div: return {12, false};
+        case op_class::jump: return {1, true};
+        case op_class::branch: return {1, true};
+        case op_class::csr: return {1, true};
+        case op_class::load:
+        case op_class::store: return {1, true};  // address generation only
+        default: return {1, true};
+    }
+}
+
+class fu_pool {
+public:
+    explicit fu_pool(const big_core_config& cfg)
+        : int_units_(cfg.int_alus, 0),
+          fp_units_(cfg.fp_alus, 0),
+          mem_units_(cfg.mem_ports, 0),
+          jump_units_(cfg.jump_units, 0),
+          csr_units_(cfg.csr_units, 0) {}
+
+    // Earliest cycle >= `earliest` at which a unit for `c` can accept the op;
+    // reserves the unit. Latency selection is the caller's job.
+    cycle_t reserve(op_class c, cycle_t earliest, const fu_latency& lat) {
+        std::vector<cycle_t>& pool = pool_for(c);
+        auto it = std::min_element(pool.begin(), pool.end());
+        const cycle_t issue = std::max(earliest, *it);
+        *it = issue + (lat.pipelined ? 1 : lat.latency);
+        return issue;
+    }
+
+private:
+    std::vector<cycle_t>& pool_for(op_class c) {
+        switch (c) {
+            case op_class::int_alu:
+            case op_class::int_mul:
+            case op_class::int_div: return int_units_;
+            case op_class::fp_alu:
+            case op_class::fp_mul:
+            case op_class::fp_div: return fp_units_;
+            case op_class::load:
+            case op_class::store: return mem_units_;
+            case op_class::branch:
+            case op_class::jump: return jump_units_;
+            default: return csr_units_;
+        }
+    }
+
+    std::vector<cycle_t> int_units_;
+    std::vector<cycle_t> fp_units_;
+    std::vector<cycle_t> mem_units_;
+    std::vector<cycle_t> jump_units_;
+    std::vector<cycle_t> csr_units_;
+};
+
+}  // namespace meek

@@ -1,0 +1,52 @@
+// Bit-manipulation helpers used by the ISA encoder, caches and fault injector.
+#pragma once
+
+#include <bit>
+
+#include "common/types.h"
+
+namespace meek {
+
+// Mask with the low `n` bits set; n == 64 yields all-ones.
+constexpr u64 mask64(unsigned n) {
+    return n >= 64 ? ~u64{0} : (u64{1} << n) - 1;
+}
+
+// Extract bits [lo, lo+len) of `v`.
+constexpr u64 bits(u64 v, unsigned lo, unsigned len) {
+    return (v >> lo) & mask64(len);
+}
+
+// Insert the low `len` bits of `field` into bits [lo, lo+len) of `v`.
+constexpr u64 insert_bits(u64 v, unsigned lo, unsigned len, u64 field) {
+    const u64 m = mask64(len) << lo;
+    return (v & ~m) | ((field << lo) & m);
+}
+
+// Sign-extend the low `n` bits of `v` to 64 bits.
+constexpr i64 sign_extend(u64 v, unsigned n) {
+    if (n == 0 || n >= 64) return static_cast<i64>(v);
+    const u64 sign = u64{1} << (n - 1);
+    return static_cast<i64>((v ^ sign) - sign);
+}
+
+// Even parity over all 64 bits (1 when an odd number of bits is set), mirroring
+// the cache parity bits the paper copies into the LSQ.
+constexpr u8 parity64(u64 v) {
+    return static_cast<u8>(std::popcount(v) & 1);
+}
+
+constexpr bool is_pow2(u64 v) {
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+constexpr unsigned log2_floor(u64 v) {
+    return v == 0 ? 0 : 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+// Round `v` up to the next multiple of pow-of-two `align`.
+constexpr u64 align_up(u64 v, u64 align) {
+    return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace meek

@@ -1,0 +1,36 @@
+// Clock-domain bookkeeping. The SoC has a high-frequency domain (big core,
+// 3.2 GHz) and a low-frequency domain (F2 NoC + little cores, 1.6 GHz); the
+// simulator ticks in big-core cycles and derives everything else from the
+// period in picoseconds.
+#pragma once
+
+#include "common/types.h"
+
+namespace meek {
+
+class clock_domain {
+public:
+    // `freq_mhz` must divide evenly into picoseconds (true for all configs in
+    // Table II: 3200 MHz -> 312.5 ps handled via doubled units below).
+    explicit clock_domain(u64 freq_mhz) : freq_mhz_(freq_mhz) {}
+
+    u64 freq_mhz() const { return freq_mhz_; }
+
+    // Period in femtoseconds to keep 3.2 GHz exact (312500 fs).
+    u64 period_fs() const { return 1'000'000'000ULL / freq_mhz_; }
+
+    double cycles_to_ns(cycle_t cycles) const {
+        return static_cast<double>(cycles) * static_cast<double>(period_fs()) * 1e-6;
+    }
+
+    double cycles_to_us(cycle_t cycles) const { return cycles_to_ns(cycles) * 1e-3; }
+
+    cycle_t ns_to_cycles(double ns) const {
+        return static_cast<cycle_t>(ns * 1e6 / static_cast<double>(period_fs()));
+    }
+
+private:
+    u64 freq_mhz_;
+};
+
+}  // namespace meek

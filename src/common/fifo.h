@@ -1,0 +1,56 @@
+// Bounded FIFO used throughout the design: DC-Buffers, HM-NoC link queues,
+// the LSL's dual-way banks and the little core's skid buffers. Capacity is a
+// hardware property fixed at construction.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/types.h"
+
+namespace meek {
+
+template <typename T>
+class bounded_fifo {
+public:
+    explicit bounded_fifo(std::size_t capacity) : capacity_(capacity) {}
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= capacity_; }
+    std::size_t free_slots() const { return capacity_ - items_.size(); }
+
+    // Enqueue; returns false (and drops nothing) when full, modeling
+    // ready/valid backpressure.
+    bool push(T item) {
+        if (full()) return false;
+        items_.push_back(std::move(item));
+        return true;
+    }
+
+    const T& front() const { return items_.front(); }
+    T& front() { return items_.front(); }
+
+    std::optional<T> pop() {
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    void clear() { items_.clear(); }
+
+    // Iteration support for checkers that scan the log in order.
+    auto begin() const { return items_.begin(); }
+    auto end() const { return items_.end(); }
+    T& at(std::size_t i) { return items_[i]; }
+    const T& at(std::size_t i) const { return items_[i]; }
+
+private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+};
+
+}  // namespace meek

@@ -1,0 +1,22 @@
+#include "common/log.h"
+
+namespace meek {
+
+log_level& global_log_level() {
+    static log_level level = log_level::none;
+    return level;
+}
+
+void log_message(log_level level, const std::string& msg) {
+    const char* tag = "";
+    switch (level) {
+        case log_level::error: tag = "[error] "; break;
+        case log_level::warn: tag = "[warn ] "; break;
+        case log_level::info: tag = "[info ] "; break;
+        case log_level::trace: tag = "[trace] "; break;
+        case log_level::none: return;
+    }
+    std::fprintf(stderr, "%s%s\n", tag, msg.c_str());
+}
+
+}  // namespace meek

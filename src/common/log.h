@@ -1,0 +1,28 @@
+// Minimal leveled logging. Off by default so simulation loops stay hot;
+// enabled by tests/examples that want traces.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace meek {
+
+enum class log_level { none = 0, error = 1, warn = 2, info = 3, trace = 4 };
+
+// Global verbosity. A plain mutable global is deliberate: it is a debug knob,
+// not program state (encapsulated here per I.30).
+log_level& global_log_level();
+
+void log_message(log_level level, const std::string& msg);
+
+#define MEEK_LOG(level, ...)                                                     \
+    do {                                                                         \
+        if (static_cast<int>(::meek::global_log_level()) >=                      \
+            static_cast<int>(::meek::log_level::level)) {                        \
+            char meek_log_buf[512];                                              \
+            std::snprintf(meek_log_buf, sizeof meek_log_buf, __VA_ARGS__);       \
+            ::meek::log_message(::meek::log_level::level, meek_log_buf);         \
+        }                                                                        \
+    } while (0)
+
+}  // namespace meek

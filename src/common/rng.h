@@ -1,0 +1,59 @@
+// Deterministic xoshiro256** PRNG. Every stochastic component of the simulator
+// (workload generators, fault campaigns) draws from an explicitly seeded rng so
+// experiments are reproducible run-to-run.
+#pragma once
+
+#include "common/types.h"
+
+namespace meek {
+
+class rng {
+public:
+    explicit rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    // splitmix64 expansion of the seed into the 4-word state, per the reference
+    // implementation's recommendation.
+    void reseed(u64 seed) {
+        for (auto& word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            u64 z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    u64 next() {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    // Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+    u64 below(u64 bound) {
+        if (bound == 0) return 0;
+        const u64 x = next();
+        return static_cast<u64>((static_cast<__uint128_t>(x) * bound) >> 64);
+    }
+
+    // Uniform integer in [lo, hi].
+    u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+    // Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    bool chance(double p) { return uniform() < p; }
+
+private:
+    static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    u64 state_[4]{};
+};
+
+}  // namespace meek

@@ -1,0 +1,116 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace meek {
+
+void running_stat::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void running_stat::merge(const running_stat& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+histogram::histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(num_bins)), counts_(num_bins, 0) {}
+
+void histogram::add(double x) {
+    add_n(x, 1);
+}
+
+void histogram::add_n(double x, u64 weight) {
+    total_ += weight;
+    for (u64 i = 0; i < weight; ++i) stat_.add(x);
+    if (x < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+    if (bin >= counts_.size()) {
+        overflow_ += weight;
+        return;
+    }
+    counts_[bin] += weight;
+}
+
+double histogram::bin_lo(std::size_t i) const {
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double histogram::bin_hi(std::size_t i) const {
+    return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double histogram::quantile(double q) const {
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target) return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cum + static_cast<double>(counts_[i]);
+        if (next >= target && counts_[i] > 0) {
+            const double frac = (target - cum) / static_cast<double>(counts_[i]);
+            return bin_lo(i) + frac * width_;
+        }
+        cum = next;
+    }
+    return bin_hi(counts_.size() - 1);
+}
+
+std::vector<double> histogram::density() const {
+    std::vector<double> d(counts_.size(), 0.0);
+    if (total_ == 0) return d;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        d[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+    }
+    return d;
+}
+
+double geomean(std::span<const double> values) {
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (double v : values) {
+        if (v <= 0.0) continue;
+        log_sum += std::log(v);
+        ++n;
+    }
+    return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+std::string format_fixed(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+}  // namespace meek

@@ -1,0 +1,80 @@
+// Statistics utilities: running aggregates, fixed-bin histograms and the
+// geometric-mean helpers used by every figure bench.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace meek {
+
+// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class running_stat {
+public:
+    void add(double x);
+    void merge(const running_stat& other);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+// Histogram with uniform bins over [lo, hi); out-of-range samples land in
+// saturating under/overflow bins. Used for Fig. 7 latency densities.
+class histogram {
+public:
+    histogram(double lo, double hi, std::size_t num_bins);
+
+    void add(double x);
+    void add_n(double x, u64 weight);
+
+    std::size_t num_bins() const { return counts_.size(); }
+    u64 bin_count(std::size_t i) const { return counts_[i]; }
+    double bin_lo(std::size_t i) const;
+    double bin_hi(std::size_t i) const;
+    u64 underflow() const { return underflow_; }
+    u64 overflow() const { return overflow_; }
+    u64 total() const { return total_; }
+
+    // Value below which `q` (0..1) of all samples fall, by linear
+    // interpolation within the containing bin.
+    double quantile(double q) const;
+
+    // Normalized density per bin (sums to 1 over in-range bins).
+    std::vector<double> density() const;
+
+    const running_stat& stat() const { return stat_; }
+
+private:
+    double lo_;
+    double width_;
+    std::vector<u64> counts_;
+    u64 underflow_ = 0;
+    u64 overflow_ = 0;
+    u64 total_ = 0;
+    running_stat stat_;
+};
+
+// Geometric mean of strictly-positive values. Values <= 0 are skipped, matching
+// how slowdown geomeans are computed over benchmark suites.
+double geomean(std::span<const double> values);
+
+// Format helpers shared by report renderers.
+std::string format_fixed(double v, int decimals);
+std::string format_percent(double fraction, int decimals);
+
+}  // namespace meek

@@ -1,0 +1,40 @@
+// Fundamental scalar types shared across the MEEK simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace meek {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+// Byte address in the simulated flat physical address space.
+using addr_t = u64;
+
+// Cycle count within one clock domain. Always relative to that domain's clock.
+using cycle_t = u64;
+
+// Simulated wall-clock time in picoseconds; precise enough to mix 3.2 GHz and
+// 1.6 GHz domains without rounding (312.5 ps / 625 ps periods).
+using ps_t = u64;
+
+// Architectural register index (x0..x31 integer, f0..f31 floating point).
+using areg_t = u8;
+
+// Physical register index inside the big core's PRF.
+using preg_t = u16;
+
+// Simulated thread identifier managed by the OS model.
+using tid_t = u32;
+
+inline constexpr areg_t k_num_arch_regs = 32;   // per register file (int / fp)
+inline constexpr tid_t k_invalid_tid = ~tid_t{0};
+
+}  // namespace meek

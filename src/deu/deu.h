@@ -1,0 +1,111 @@
+// Data Extraction Unit (Fig. 3): a non-intrusive observation channel at the
+// big core's commit stage. The Commit Detector watches opcode/function-code
+// routed from the ROB and decides what to extract:
+//   * between RCPs: run-time data — load addr+data (with the LSQ parity bits
+//     the paper copies from the cache), store addr+data, CSR read values;
+//   * at RCPs: status data — the architectural snapshot, read from the
+//     PRFs/CSRs by preempting the PRF controller (commit stalls while the
+//     read ports are occupied: `extraction_cycles`).
+// RCP triggers (Sec. II): target LSL full, instruction timeout, kernel trap.
+#pragma once
+
+#include <optional>
+
+#include "bigcore/commit.h"
+#include "common/bits.h"
+#include "common/types.h"
+#include "deu/packet.h"
+
+namespace meek {
+
+enum class rcp_trigger : u8 { none, lsl_full, timeout, kernel_trap };
+
+struct deu_stats {
+    u64 runtime_packets = 0;
+    u64 status_words = 0;
+    u64 rcps_lsl_full = 0;
+    u64 rcps_timeout = 0;
+    u64 rcps_trap = 0;
+    u64 parity_checks = 0;
+    u64 parity_faults = 0;  // LSQ-window corruption caught by parity
+};
+
+class data_extraction_unit {
+public:
+    data_extraction_unit(u32 lsl_entries, u32 instr_timeout, u32 prf_read_ports = 4)
+        : lsl_entries_(lsl_entries),
+          instr_timeout_(instr_timeout),
+          prf_read_ports_(prf_read_ports) {}
+
+    void set_enabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    // Builds the run-time packet for a committing instruction, if it needs
+    // one. Destination routing is the controller's job.
+    std::optional<fwd_packet> runtime_packet(const commit_record& rec) {
+        if (!enabled_) return std::nullopt;
+        fwd_packet p;
+        p.seq = rec.seq;
+        p.created_big_cycle = rec.commit_cycle;
+        if (rec.mem) {
+            p.kind = rec.mem->is_store ? packet_kind::runtime_store
+                                       : packet_kind::runtime_load;
+            p.addr = rec.mem->addr;
+            p.size = rec.mem->size;
+            if (rec.mem->is_store) {
+                p.data = rec.mem->store_data;
+            } else {
+                p.data = rec.load_data;
+                p.parity = rec.load_parity;
+                ++stats_.parity_checks;
+                if (parity64(rec.load_data) != rec.load_parity) ++stats_.parity_faults;
+            }
+            ++stats_.runtime_packets;
+            return p;
+        }
+        if (rec.csr_read) {
+            p.kind = packet_kind::runtime_csr;
+            p.addr = static_cast<addr_t>(static_cast<u32>(rec.ins.imm));
+            p.data = rec.csr_value;
+            ++stats_.runtime_packets;
+            return p;
+        }
+        return std::nullopt;
+    }
+
+    // Commit-detector segmentation decision, evaluated after each commit.
+    rcp_trigger check_trigger(const commit_record& rec, u32 segment_runtime_entries,
+                              u32 segment_instructions) {
+        if (!enabled_) return rcp_trigger::none;
+        if (rec.is_trap) {
+            ++stats_.rcps_trap;
+            return rcp_trigger::kernel_trap;
+        }
+        if (segment_runtime_entries >= lsl_entries_) {
+            ++stats_.rcps_lsl_full;
+            return rcp_trigger::lsl_full;
+        }
+        if (segment_instructions >= instr_timeout_) {
+            ++stats_.rcps_timeout;
+            return rcp_trigger::timeout;
+        }
+        return rcp_trigger::none;
+    }
+
+    // Big-core cycles the snapshot read-out occupies the PRF ports for.
+    cycle_t extraction_cycles() const {
+        return (k_snapshot_words + prf_read_ports_ - 1) / prf_read_ports_;
+    }
+
+    void note_status_words(u32 n) { stats_.status_words += n; }
+    const deu_stats& stats() const { return stats_; }
+
+private:
+    u32 lsl_entries_;
+    u32 instr_timeout_;
+    u32 prf_read_ports_;
+    bool enabled_ = true;
+    deu_stats stats_;
+};
+
+}  // namespace meek

@@ -1,0 +1,97 @@
+// Forwarding fabric between the big core's commit stage and the little
+// cores' LSLs (Fig. 2 b).
+//
+// F2 = per-commit-path Dual-Channel Buffers (independent status / run-time
+// FIFOs, so run-time data can always be stored in the same cycle as a
+// simultaneous status burst) + a Half-duplex Multicast NoC: up to two packet
+// transmissions per low-frequency cycle, 1-to-N multicast (one transmission
+// reaches both the ERCP consumer of segment k and the SRCP consumer of
+// segment k+1), global program-order preservation via an ordering FSM
+// (modeled as lowest-order-first arbitration).
+//
+// The AXI-Interconnect baseline shares the DC-Buffers but drains them over a
+// 128-bit shared bus: one packet per cycle, no multicast (each destination
+// is a separate transaction), higher per-transfer latency. This reproduces
+// the Fig. 9 bottleneck.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/fifo.h"
+#include "deu/packet.h"
+
+namespace meek {
+
+struct fabric_stats {
+    u64 packets_pushed = 0;
+    u64 packets_delivered = 0;
+    u64 transmissions = 0;        // NoC/bus slot uses
+    u64 multicast_merged = 0;     // deliveries saved by 1-to-N multicast
+    u64 push_rejects = 0;         // DC-Buffer full at commit -> backpressure
+    u64 delivery_retries = 0;     // LSL rejected a delivery (retried)
+    cycle_t busy_lo_cycles = 0;   // low cycles with >= 1 transmission
+    std::size_t max_dc_depth = 0;
+};
+
+class fabric_model {
+public:
+    using deliver_fn = std::function<bool(u32 core, const fwd_packet&)>;
+
+    fabric_model(const fabric_config& cfg, u32 commit_paths, u32 num_little_cores);
+
+    void set_deliver(deliver_fn fn) { deliver_ = std::move(fn); }
+
+    // Commit-side port (big-core clock domain). `path` selects the
+    // DC-Buffer; returns false when the relevant channel FIFO is full.
+    bool can_accept(packet_kind kind, u32 path) const;
+    bool push(fwd_packet p, u32 path, cycle_t now_big);
+
+    // Advance one low-frequency-domain cycle: arbitrate transmissions out of
+    // the DC-Buffers and complete in-flight deliveries.
+    void tick_low(cycle_t now_lo);
+
+    bool drained() const;
+    const fabric_stats& stats() const { return stats_; }
+    const fabric_config& config() const { return cfg_; }
+
+private:
+    struct staged_packet {
+        fwd_packet packet;
+        u64 order = 0;
+        cycle_t ready_lo = 0;       // after clock-domain crossing
+        dest_mask_t remaining = 0;  // destinations not yet transmitted (AXI)
+    };
+
+    struct in_flight {
+        fwd_packet packet;
+        cycle_t deliver_at_lo = 0;
+    };
+
+    struct dc_buffer {
+        bounded_fifo<staged_packet> status;
+        bounded_fifo<staged_packet> runtime;
+        dc_buffer(u32 depth) : status(depth), runtime(depth) {}
+    };
+
+    // Per-core NoC hop latency: Manhattan distance in the grid placement.
+    cycle_t hop_latency(u32 core) const;
+    bounded_fifo<staged_packet>* oldest_head(cycle_t now_lo);
+
+    fabric_config cfg_;
+    u32 num_cores_;
+    std::vector<dc_buffer> buffers_;
+    std::vector<bounded_fifo<in_flight>> dest_queues_;  // per little core
+    deliver_fn deliver_;
+    fabric_stats stats_;
+    u64 order_counter_ = 0;
+
+    // AXI arbitration: switching the granted master/channel between
+    // transactions costs a handshake cycle (AR/AW re-arbitration).
+    const void* axi_last_src_ = nullptr;
+    bool axi_rearb_ = false;
+    bool axi_rearb_was_ = false;
+};
+
+}  // namespace meek

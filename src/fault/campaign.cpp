@@ -1,0 +1,112 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace meek {
+namespace {
+
+bool eligible(packet_kind kind, fault_target target) {
+    switch (target) {
+        case fault_target::any:
+            return kind != packet_kind::segment_end;
+        case fault_target::runtime_data:
+        case fault_target::runtime_addr:
+            return kind == packet_kind::runtime_load ||
+                   kind == packet_kind::runtime_store ||
+                   kind == packet_kind::runtime_csr;
+        case fault_target::status_word:
+            return kind == packet_kind::status_word;
+    }
+    return false;
+}
+
+}  // namespace
+
+campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& prog,
+                                   const fault_campaign_config& cfg) {
+    campaign_result result;
+    rng r(cfg.seed);
+
+    meek_soc soc(soc_cfg);
+    soc.load_program(prog);
+    const clock_domain big_clock(soc_cfg.big.freq_mhz);
+
+    bool outstanding = false;
+    fault_record current;
+    u64 next_eligible_seq = cfg.gap_instructions;
+    u64 injected = 0;
+
+    soc.set_packet_hook([&](fwd_packet& pkt) {
+        // Horizon check: give up on a fault nothing ever detected.
+        if (outstanding && pkt.seq > current.inject_seq + cfg.detection_horizon) {
+            current.detected = false;
+            result.faults.push_back(current);
+            ++result.masked;
+            outstanding = false;
+            next_eligible_seq = pkt.seq + cfg.gap_instructions;
+        }
+        if (outstanding || injected >= cfg.num_faults) return;
+        if (pkt.seq < next_eligible_seq) return;
+        if (!eligible(pkt.kind, cfg.target)) return;
+        if (!r.chance(cfg.inject_probability)) return;
+
+        // Corrupt one random bit of the chosen field.
+        const bool flip_addr =
+            cfg.target == fault_target::runtime_addr ||
+            (cfg.target == fault_target::any &&
+             pkt.kind != packet_kind::status_word && r.chance(0.5));
+        if (flip_addr) {
+            pkt.addr ^= u64{1} << r.below(40);
+        } else {
+            pkt.data ^= u64{1} << r.below(64);
+            if (cfg.core_side_fault && pkt.kind == packet_kind::runtime_load) {
+                pkt.parity = parity64(pkt.data);
+            }
+        }
+        pkt.fault_injected = true;
+
+        current = fault_record{};
+        current.inject_seq = pkt.seq;
+        current.inject_big_cycle = pkt.created_big_cycle;
+        current.corrupted_kind = pkt.kind;
+        outstanding = true;
+        ++injected;
+    });
+
+    soc.set_error_hook([&](const detection_event& ev) {
+        if (!outstanding) return;  // echo of an already-attributed fault
+        current.detected = true;
+        current.detect_big_cycle = std::max(ev.detect_big_cycle, current.inject_big_cycle);
+        current.kind = ev.kind;
+        result.faults.push_back(current);
+        ++result.detected;
+        result.latency_ns.add(big_clock.cycles_to_ns(
+            current.detect_big_cycle - current.inject_big_cycle));
+        outstanding = false;
+        next_eligible_seq = current.inject_seq + cfg.gap_instructions;
+    });
+
+    soc.run();
+
+    if (outstanding) {
+        current.detected = false;
+        result.faults.push_back(current);
+        ++result.masked;
+    }
+    return result;
+}
+
+histogram latency_histogram(const campaign_result& result, double max_ns,
+                            std::size_t bins) {
+    histogram h(0.0, max_ns, bins);
+    for (const fault_record& f : result.faults) {
+        if (!f.detected) continue;
+        const double ns = static_cast<double>(f.latency_cycles()) * 0.3125;  // 3.2 GHz
+        h.add(ns);
+    }
+    return h;
+}
+
+}  // namespace meek

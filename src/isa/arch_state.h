@@ -1,0 +1,133 @@
+// Architectural state: integer + FP register files, PC, and the CSR file.
+// `arch_snapshot` is the Register Check Point (RCP) payload: the status data
+// the DEU extracts at segment boundaries and checkers compare at ERCPs.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.h"
+
+namespace meek {
+
+// CSR addresses used by the simulator. `uarch_entropy` is a deliberately
+// non-repeatable read (it returns commit-time jitter on the big core), which
+// exercises the paper's CSR forwarding path: the checker cannot re-derive the
+// value and must take it from the LSL.
+namespace csr_addr {
+inline constexpr u16 mstatus = 0x300;
+inline constexpr u16 mscratch = 0x340;
+inline constexpr u16 mepc = 0x341;
+inline constexpr u16 mcause = 0x342;
+inline constexpr u16 fflags = 0x001;
+inline constexpr u16 mcycle = 0xB00;
+inline constexpr u16 minstret = 0xB02;
+inline constexpr u16 uarch_entropy = 0x7C0;
+}  // namespace csr_addr
+
+// CSRs whose values are part of an RCP snapshot (architecturally meaningful
+// and repeatable); counters and entropy sources are excluded.
+inline constexpr std::array<u16, 3> k_checkpointed_csrs = {
+    csr_addr::mstatus, csr_addr::mscratch, csr_addr::fflags};
+
+class csr_file {
+public:
+    u64 read(u16 addr) const {
+        switch (addr) {
+            case csr_addr::mstatus: return mstatus_;
+            case csr_addr::mscratch: return mscratch_;
+            case csr_addr::mepc: return mepc_;
+            case csr_addr::mcause: return mcause_;
+            case csr_addr::fflags: return fflags_;
+            case csr_addr::mcycle: return mcycle_;
+            case csr_addr::minstret: return minstret_;
+            case csr_addr::uarch_entropy: return entropy_;
+            default: return 0;
+        }
+    }
+
+    void write(u16 addr, u64 v) {
+        switch (addr) {
+            case csr_addr::mstatus: mstatus_ = v; break;
+            case csr_addr::mscratch: mscratch_ = v; break;
+            case csr_addr::mepc: mepc_ = v; break;
+            case csr_addr::mcause: mcause_ = v; break;
+            case csr_addr::fflags: fflags_ = v; break;
+            case csr_addr::mcycle: mcycle_ = v; break;
+            case csr_addr::minstret: minstret_ = v; break;
+            case csr_addr::uarch_entropy: entropy_ = v; break;
+            default: break;  // writes to unknown CSRs are dropped
+        }
+    }
+
+    void tick_counters(u64 cycles, u64 instret) {
+        mcycle_ += cycles;
+        minstret_ += instret;
+    }
+
+    // Commit-time jitter source backing the non-repeatable CSR.
+    void set_entropy(u64 v) { entropy_ = v; }
+
+private:
+    u64 mstatus_ = 0;
+    u64 mscratch_ = 0;
+    u64 mepc_ = 0;
+    u64 mcause_ = 0;
+    u64 fflags_ = 0;
+    u64 mcycle_ = 0;
+    u64 minstret_ = 0;
+    u64 entropy_ = 0;
+};
+
+struct arch_state {
+    addr_t pc = 0;
+    std::array<u64, k_num_arch_regs> xregs{};
+    std::array<u64, k_num_arch_regs> fregs{};
+    csr_file csrs;
+
+    u64 read_x(areg_t r) const { return r == 0 ? 0 : xregs[r]; }
+    void write_x(areg_t r, u64 v) {
+        if (r != 0) xregs[r] = v;
+    }
+    u64 read_f(areg_t r) const { return fregs[r]; }
+    void write_f(areg_t r, u64 v) { fregs[r] = v; }
+};
+
+// RCP payload: what the DEU reads out of the PRFs/CSRs at a checkpoint.
+struct arch_snapshot {
+    addr_t pc = 0;
+    std::array<u64, k_num_arch_regs> xregs{};
+    std::array<u64, k_num_arch_regs> fregs{};
+    std::array<u64, k_checkpointed_csrs.size()> csrs{};
+
+    bool operator==(const arch_snapshot&) const = default;
+
+    static arch_snapshot capture(const arch_state& s) {
+        arch_snapshot snap;
+        snap.pc = s.pc;
+        snap.xregs = s.xregs;
+        snap.fregs = s.fregs;
+        for (std::size_t i = 0; i < k_checkpointed_csrs.size(); ++i) {
+            snap.csrs[i] = s.csrs.read(k_checkpointed_csrs[i]);
+        }
+        return snap;
+    }
+
+    void restore_to(arch_state& s) const {
+        s.pc = pc;
+        s.xregs = xregs;
+        s.xregs[0] = 0;
+        s.fregs = fregs;
+        for (std::size_t i = 0; i < k_checkpointed_csrs.size(); ++i) {
+            s.csrs.write(k_checkpointed_csrs[i], csrs[i]);
+        }
+    }
+
+    // Number of 64-bit words a snapshot occupies on the forwarding fabric:
+    // PC + both register files + checkpointed CSRs.
+    static constexpr u32 payload_words() {
+        return 1 + 2 * k_num_arch_regs + static_cast<u32>(k_checkpointed_csrs.size());
+    }
+};
+
+}  // namespace meek

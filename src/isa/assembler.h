@@ -1,0 +1,34 @@
+// Two-pass textual assembler for MRV. Used by tests and examples; workload
+// generators drive program_builder directly.
+//
+// Syntax:
+//   ; comment          # comment
+//   label:
+//   add x1, x2, x3
+//   ld x4, 8(x5)
+//   beq x1, x0, done
+//   jal x31, func
+//   csrrw x1, 0x340, x2
+//   li x5, 123456789          (pseudo: expands via program_builder::emit_li)
+//   nop                       (pseudo: addi x0, x0, 0)
+//   .data 0x1000000           switch to data emission at address
+//   .dword 1 2 3              emit 64-bit little-endian words
+//   .entry label              set the entry point
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+
+namespace meek {
+
+struct assembly_error {
+    std::size_t line = 0;
+    std::string message;
+};
+
+// Assembles `source`; throws std::runtime_error with line info on failure.
+program assemble(std::string_view source, addr_t text_base = k_default_text_base);
+
+}  // namespace meek

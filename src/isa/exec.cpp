@@ -1,0 +1,207 @@
+#include "isa/exec.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/bits.h"
+
+namespace meek {
+namespace {
+
+double as_double(u64 bits_value) { return std::bit_cast<double>(bits_value); }
+u64 as_bits(double v) { return std::bit_cast<u64>(v); }
+
+u64 int_div(i64 a, i64 b) {
+    if (b == 0) return ~u64{0};  // RISC-V: division by zero yields all-ones
+    if (a == std::numeric_limits<i64>::min() && b == -1) return static_cast<u64>(a);
+    return static_cast<u64>(a / b);
+}
+
+u64 int_rem(i64 a, i64 b) {
+    if (b == 0) return static_cast<u64>(a);
+    if (a == std::numeric_limits<i64>::min() && b == -1) return 0;
+    return static_cast<u64>(a % b);
+}
+
+u64 fcvt_to_int(double d) {
+    // RISC-V-style saturating conversion; NaN maps to the maximum value.
+    if (std::isnan(d)) return static_cast<u64>(std::numeric_limits<i64>::max());
+    if (d >= 9.2233720368547758e18) return static_cast<u64>(std::numeric_limits<i64>::max());
+    if (d <= -9.2233720368547758e18) return static_cast<u64>(std::numeric_limits<i64>::min());
+    return static_cast<u64>(static_cast<i64>(d));
+}
+
+}  // namespace
+
+exec_out execute(const exec_in& in) {
+    const instr& ins = in.ins;
+    exec_out out;
+    out.next_pc = in.pc + k_instr_bytes;
+
+    const u64 a = in.rs1;
+    const u64 b = in.rs2;
+    const i64 sa = static_cast<i64>(a);
+    const i64 sb = static_cast<i64>(b);
+    const auto shamt = static_cast<unsigned>(b & 63);
+    const auto ishamt = static_cast<unsigned>(ins.imm & 63);
+    const i64 imm = ins.imm;
+
+    auto write = [&](u64 v) {
+        out.reg_write = true;
+        out.rd_value = v;
+    };
+    auto branch = [&](bool taken) {
+        out.is_taken_branch = taken;
+        if (taken) out.next_pc = in.pc + static_cast<i64>(ins.imm);
+    };
+
+    switch (ins.op) {
+        case opcode::add: write(a + b); break;
+        case opcode::sub: write(a - b); break;
+        case opcode::and_: write(a & b); break;
+        case opcode::or_: write(a | b); break;
+        case opcode::xor_: write(a ^ b); break;
+        case opcode::sll: write(a << shamt); break;
+        case opcode::srl: write(a >> shamt); break;
+        case opcode::sra: write(static_cast<u64>(sa >> shamt)); break;
+        case opcode::slt: write(sa < sb ? 1 : 0); break;
+        case opcode::sltu: write(a < b ? 1 : 0); break;
+        case opcode::mul: write(a * b); break;
+        case opcode::mulh:
+            write(static_cast<u64>((static_cast<__int128>(sa) * sb) >> 64));
+            break;
+        case opcode::div: write(int_div(sa, sb)); break;
+        case opcode::divu: write(b == 0 ? ~u64{0} : a / b); break;
+        case opcode::rem: write(int_rem(sa, sb)); break;
+        case opcode::remu: write(b == 0 ? a : a % b); break;
+
+        case opcode::addi: write(a + static_cast<u64>(imm)); break;
+        case opcode::andi: write(a & static_cast<u64>(imm)); break;
+        case opcode::ori: write(a | static_cast<u64>(imm)); break;
+        case opcode::xori: write(a ^ static_cast<u64>(imm)); break;
+        case opcode::slli: write(a << ishamt); break;
+        case opcode::srli: write(a >> ishamt); break;
+        case opcode::srai: write(static_cast<u64>(sa >> ishamt)); break;
+        case opcode::slti: write(sa < imm ? 1 : 0); break;
+        case opcode::sltiu: write(a < static_cast<u64>(imm) ? 1 : 0); break;
+
+        case opcode::lui: write(static_cast<u64>(static_cast<i64>(ins.imm)) << 12); break;
+        case opcode::auipc:
+            write(in.pc + (static_cast<u64>(static_cast<i64>(ins.imm)) << 12));
+            break;
+
+        case opcode::lb:
+        case opcode::lbu:
+        case opcode::lh:
+        case opcode::lhu:
+        case opcode::lw:
+        case opcode::lwu:
+        case opcode::ld:
+        case opcode::fld:
+            out.mem = mem_intent{false, a + static_cast<u64>(imm),
+                                 memory_access_bytes(ins.op), 0};
+            break;
+
+        case opcode::sb:
+        case opcode::sh:
+        case opcode::sw:
+        case opcode::sd:
+            out.mem = mem_intent{true, a + static_cast<u64>(imm),
+                                 memory_access_bytes(ins.op),
+                                 b & mask64(8u * memory_access_bytes(ins.op))};
+            break;
+        case opcode::fsd:
+            // rs2 value arrives via in.rs2 from the FP file.
+            out.mem = mem_intent{true, a + static_cast<u64>(imm), 8, b};
+            break;
+
+        case opcode::beq: branch(a == b); break;
+        case opcode::bne: branch(a != b); break;
+        case opcode::blt: branch(sa < sb); break;
+        case opcode::bge: branch(sa >= sb); break;
+        case opcode::bltu: branch(a < b); break;
+        case opcode::bgeu: branch(a >= b); break;
+
+        case opcode::jal:
+            write(in.pc + k_instr_bytes);
+            out.next_pc = in.pc + static_cast<i64>(ins.imm);
+            break;
+        case opcode::jalr:
+            write(in.pc + k_instr_bytes);
+            out.next_pc = (a + static_cast<u64>(imm)) & ~u64{1};
+            break;
+
+        case opcode::fadd_d: write(as_bits(as_double(a) + as_double(b))); break;
+        case opcode::fsub_d: write(as_bits(as_double(a) - as_double(b))); break;
+        case opcode::fmul_d: write(as_bits(as_double(a) * as_double(b))); break;
+        case opcode::fdiv_d: write(as_bits(as_double(a) / as_double(b))); break;
+        case opcode::fsqrt_d: write(as_bits(std::sqrt(as_double(a)))); break;
+        case opcode::fmin_d: write(as_bits(std::fmin(as_double(a), as_double(b)))); break;
+        case opcode::fmax_d: write(as_bits(std::fmax(as_double(a), as_double(b)))); break;
+        case opcode::fsgnj_d: write((a & mask64(63)) | (b & ~mask64(63))); break;
+        case opcode::fmadd_d:
+            write(as_bits(std::fma(as_double(a), as_double(b), as_double(in.rs3))));
+            break;
+        case opcode::feq_d: write(as_double(a) == as_double(b) ? 1 : 0); break;
+        case opcode::flt_d: write(as_double(a) < as_double(b) ? 1 : 0); break;
+        case opcode::fle_d: write(as_double(a) <= as_double(b) ? 1 : 0); break;
+        case opcode::fcvt_d_l: write(as_bits(static_cast<double>(sa))); break;
+        case opcode::fcvt_l_d: write(fcvt_to_int(as_double(a))); break;
+        case opcode::fmv_x_d:
+        case opcode::fmv_d_x: write(a); break;
+
+        case opcode::csrrw:
+            write(in.csr_old);
+            out.csr_write = true;
+            out.csr_new = a;
+            break;
+        case opcode::csrrs:
+            write(in.csr_old);
+            out.csr_write = ins.rs1 != 0;
+            out.csr_new = in.csr_old | a;
+            break;
+        case opcode::csrrc:
+            write(in.csr_old);
+            out.csr_write = ins.rs1 != 0;
+            out.csr_new = in.csr_old & ~a;
+            break;
+
+        case opcode::ecall: out.trap = trap_cause::ecall; break;
+        case opcode::ebreak: out.trap = trap_cause::ebreak; break;
+        case opcode::halt: out.halted = true; break;
+
+        // MEEK control ops: architecturally neutral in the pure semantics;
+        // the MSU / DEU / OS intercept them at the core level. l.jal is the
+        // one with a dataflow meaning: redirect to the main thread's PC.
+        case opcode::l_jal: out.next_pc = a & ~u64{1}; break;
+        case opcode::b_hook:
+        case opcode::b_check:
+        case opcode::l_mode:
+        case opcode::l_record:
+        case opcode::l_apply:
+            break;
+        case opcode::l_rslt:
+            // Default result is "pass"; the MSU overrides rd with the real
+            // check status when executing in a little core.
+            write(1);
+            break;
+    }
+    return out;
+}
+
+u64 load_result(opcode op, u64 raw) {
+    switch (op) {
+        case opcode::lb: return static_cast<u64>(sign_extend(raw, 8));
+        case opcode::lh: return static_cast<u64>(sign_extend(raw, 16));
+        case opcode::lw: return static_cast<u64>(sign_extend(raw, 32));
+        case opcode::lbu: return raw & mask64(8);
+        case opcode::lhu: return raw & mask64(16);
+        case opcode::lwu: return raw & mask64(32);
+        case opcode::ld:
+        case opcode::fld: return raw;
+        default: return raw;
+    }
+}
+
+}  // namespace meek

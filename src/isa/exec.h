@@ -1,0 +1,59 @@
+// Pure functional semantics of MRV instructions, shared by the OoO big core
+// (operand values gathered from the PRF at issue) and the in-order little core
+// (operands from the architectural file, loads satisfied by the LSL in check
+// mode). Keeping `execute` pure lets both cores — and the checker-equivalence
+// property tests — share one definition of the ISA.
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace meek {
+
+enum class trap_cause : u8 {
+    none,
+    ecall,
+    ebreak,
+    illegal,
+    page_fault,
+};
+
+// A memory access this instruction wants to perform. Loads are completed
+// later via `load_result` once the data returns.
+struct mem_intent {
+    bool is_store = false;
+    addr_t addr = 0;
+    u8 size = 0;
+    u64 store_data = 0;  // low `size` bytes are meaningful
+};
+
+struct exec_in {
+    instr ins;
+    addr_t pc = 0;
+    u64 rs1 = 0;
+    u64 rs2 = 0;
+    u64 rs3 = 0;
+    u64 csr_old = 0;  // current CSR value for csr-format ops
+};
+
+struct exec_out {
+    addr_t next_pc = 0;
+    bool reg_write = false;   // rd_value is valid (loads fill it separately)
+    u64 rd_value = 0;
+    bool is_taken_branch = false;
+    bool csr_write = false;
+    u64 csr_new = 0;
+    std::optional<mem_intent> mem;
+    trap_cause trap = trap_cause::none;
+    bool halted = false;
+};
+
+exec_out execute(const exec_in& in);
+
+// Convert raw loaded bytes (zero-extended to 64 bits) into the architectural
+// register value for the given load opcode (sign extension etc.).
+u64 load_result(opcode op, u64 raw);
+
+}  // namespace meek

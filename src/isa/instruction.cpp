@@ -1,0 +1,193 @@
+#include "isa/instruction.h"
+
+#include <cstdio>
+
+#include "common/bits.h"
+
+namespace meek {
+
+bool instr::writes_rd() const {
+    switch (opcode_format(op)) {
+        case op_format::r:
+        case op_format::r2:
+        case op_format::r4:
+        case op_format::i:
+        case op_format::u:
+        case op_format::l:
+        case op_format::j:
+        case op_format::jr:
+        case op_format::csr:
+        case op_format::m1d:
+            break;
+        default:
+            return false;
+    }
+    // Integer x0 is hardwired to zero; FP f0 is a real register.
+    return rd_is_fp() || rd != 0;
+}
+
+bool instr::reads_rs1() const {
+    switch (opcode_format(op)) {
+        case op_format::r:
+        case op_format::r2:
+        case op_format::r4:
+        case op_format::i:
+        case op_format::l:
+        case op_format::s:
+        case op_format::b:
+        case op_format::jr:
+        case op_format::csr:
+        case op_format::m2:
+        case op_format::m1s:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool instr::reads_rs2() const {
+    switch (opcode_format(op)) {
+        case op_format::r:
+        case op_format::r4:
+        case op_format::s:
+        case op_format::b:
+        case op_format::m2:
+            return true;
+        default:
+            return false;
+    }
+}
+
+u64 encode(const instr& ins) {
+    u64 w = 0;
+    w = insert_bits(w, 0, 8, static_cast<u64>(ins.op));
+    w = insert_bits(w, 8, 6, ins.rd);
+    w = insert_bits(w, 14, 6, ins.rs1);
+    w = insert_bits(w, 20, 6, ins.rs2);
+    w = insert_bits(w, 26, 6, ins.rs3);
+    w = insert_bits(w, 32, 32, static_cast<u32>(ins.imm));
+    return w;
+}
+
+instr decode(u64 word) {
+    instr ins;
+    const u64 op_field = bits(word, 0, 8);
+    // Out-of-range opcodes decode to ebreak so a wild fetch traps instead of
+    // executing garbage.
+    ins.op = op_field < k_num_opcodes ? static_cast<opcode>(op_field) : opcode::ebreak;
+    ins.rd = static_cast<areg_t>(bits(word, 8, 6));
+    ins.rs1 = static_cast<areg_t>(bits(word, 14, 6));
+    ins.rs2 = static_cast<areg_t>(bits(word, 20, 6));
+    ins.rs3 = static_cast<areg_t>(bits(word, 26, 6));
+    ins.imm = static_cast<i32>(bits(word, 32, 32));
+    return ins;
+}
+
+instr make_r(opcode op, areg_t rd, areg_t rs1, areg_t rs2) {
+    return instr{op, rd, rs1, rs2, 0, 0};
+}
+
+instr make_r4(opcode op, areg_t rd, areg_t rs1, areg_t rs2, areg_t rs3) {
+    return instr{op, rd, rs1, rs2, rs3, 0};
+}
+
+instr make_i(opcode op, areg_t rd, areg_t rs1, i32 imm) {
+    return instr{op, rd, rs1, 0, 0, imm};
+}
+
+instr make_u(opcode op, areg_t rd, i32 imm) {
+    return instr{op, rd, 0, 0, 0, imm};
+}
+
+instr make_load(opcode op, areg_t rd, areg_t base, i32 offset) {
+    return instr{op, rd, base, 0, 0, offset};
+}
+
+instr make_store(opcode op, areg_t src, areg_t base, i32 offset) {
+    return instr{op, 0, base, src, 0, offset};
+}
+
+instr make_branch(opcode op, areg_t rs1, areg_t rs2, i32 pc_offset) {
+    return instr{op, 0, rs1, rs2, 0, pc_offset};
+}
+
+instr make_jal(areg_t rd, i32 pc_offset) {
+    return instr{opcode::jal, rd, 0, 0, 0, pc_offset};
+}
+
+instr make_jalr(areg_t rd, areg_t rs1, i32 imm) {
+    return instr{opcode::jalr, rd, rs1, 0, 0, imm};
+}
+
+instr make_csr(opcode op, areg_t rd, u16 csr_addr, areg_t rs1) {
+    return instr{op, rd, rs1, 0, 0, static_cast<i32>(csr_addr)};
+}
+
+instr make_sys(opcode op) { return instr{op, 0, 0, 0, 0, 0}; }
+
+instr make_nop() { return make_i(opcode::addi, 0, 0, 0); }
+
+std::string to_string(const instr& ins) {
+    char buf[96];
+    const char* m = opcode_mnemonic(ins.op).data();
+    const char rdp = ins.rd_is_fp() ? 'f' : 'x';
+    const char r1p = ins.rs1_is_fp() ? 'f' : 'x';
+    const char r2p = ins.rs2_is_fp() ? 'f' : 'x';
+    switch (opcode_format(ins.op)) {
+        case op_format::r:
+            std::snprintf(buf, sizeof buf, "%s %c%d, %c%d, %c%d", m, rdp, ins.rd, r1p,
+                          ins.rs1, r2p, ins.rs2);
+            break;
+        case op_format::r2:
+            std::snprintf(buf, sizeof buf, "%s %c%d, %c%d", m, rdp, ins.rd, r1p, ins.rs1);
+            break;
+        case op_format::r4:
+            std::snprintf(buf, sizeof buf, "%s %c%d, %c%d, %c%d, f%d", m, rdp, ins.rd,
+                          r1p, ins.rs1, r2p, ins.rs2, ins.rs3);
+            break;
+        case op_format::i:
+            std::snprintf(buf, sizeof buf, "%s x%d, x%d, %d", m, ins.rd, ins.rs1, ins.imm);
+            break;
+        case op_format::u:
+            std::snprintf(buf, sizeof buf, "%s x%d, %d", m, ins.rd, ins.imm);
+            break;
+        case op_format::l:
+            std::snprintf(buf, sizeof buf, "%s %c%d, %d(x%d)", m, rdp, ins.rd, ins.imm,
+                          ins.rs1);
+            break;
+        case op_format::s:
+            std::snprintf(buf, sizeof buf, "%s %c%d, %d(x%d)", m, r2p, ins.rs2, ins.imm,
+                          ins.rs1);
+            break;
+        case op_format::b:
+            std::snprintf(buf, sizeof buf, "%s x%d, x%d, %d", m, ins.rs1, ins.rs2,
+                          ins.imm);
+            break;
+        case op_format::j:
+            std::snprintf(buf, sizeof buf, "%s x%d, %d", m, ins.rd, ins.imm);
+            break;
+        case op_format::jr:
+            std::snprintf(buf, sizeof buf, "%s x%d, x%d, %d", m, ins.rd, ins.rs1,
+                          ins.imm);
+            break;
+        case op_format::csr:
+            std::snprintf(buf, sizeof buf, "%s x%d, 0x%x, x%d", m, ins.rd,
+                          static_cast<u32>(ins.imm), ins.rs1);
+            break;
+        case op_format::m2:
+            std::snprintf(buf, sizeof buf, "%s x%d, x%d", m, ins.rs1, ins.rs2);
+            break;
+        case op_format::m1s:
+            std::snprintf(buf, sizeof buf, "%s x%d", m, ins.rs1);
+            break;
+        case op_format::m1d:
+            std::snprintf(buf, sizeof buf, "%s x%d", m, ins.rd);
+            break;
+        case op_format::none:
+            std::snprintf(buf, sizeof buf, "%s", m);
+            break;
+    }
+    return buf;
+}
+
+}  // namespace meek

@@ -1,0 +1,68 @@
+// Decoded MRV instruction and its 64-bit memory encoding.
+//
+// Encoding layout (one instruction per 8-byte word):
+//   [7:0]   opcode
+//   [13:8]  rd
+//   [19:14] rs1
+//   [25:20] rs2
+//   [31:26] rs3
+//   [63:32] imm (two's-complement 32-bit; CSR address for csr-format ops)
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "isa/opcodes.h"
+
+namespace meek {
+
+// Every instruction occupies 8 bytes in the simulated address space.
+inline constexpr u32 k_instr_bytes = 8;
+
+struct instr {
+    opcode op = opcode::ecall;
+    areg_t rd = 0;
+    areg_t rs1 = 0;
+    areg_t rs2 = 0;
+    areg_t rs3 = 0;
+    i32 imm = 0;
+
+    bool rd_is_fp() const { return opcode_fp_mask(op) & 1; }
+    bool rs1_is_fp() const { return opcode_fp_mask(op) & 2; }
+    bool rs2_is_fp() const { return opcode_fp_mask(op) & 4; }
+    bool rs3_is_fp() const { return opcode_fp_mask(op) & 8; }
+
+    op_class klass() const { return opcode_class(op); }
+
+    // True when this op architecturally writes `rd` (x0 writes are discarded
+    // for the integer file, as in RISC-V).
+    bool writes_rd() const;
+    bool reads_rs1() const;
+    bool reads_rs2() const;
+    bool reads_rs3() const { return opcode_format(op) == op_format::r4; }
+
+    bool operator==(const instr&) const = default;
+};
+
+// Round-trippable binary encoding, used by the program image and by property
+// tests over the whole opcode space.
+u64 encode(const instr& ins);
+instr decode(u64 word);
+
+// Convenience constructors mirroring assembler formats.
+instr make_r(opcode op, areg_t rd, areg_t rs1, areg_t rs2);
+instr make_r4(opcode op, areg_t rd, areg_t rs1, areg_t rs2, areg_t rs3);
+instr make_i(opcode op, areg_t rd, areg_t rs1, i32 imm);
+instr make_u(opcode op, areg_t rd, i32 imm);
+instr make_load(opcode op, areg_t rd, areg_t base, i32 offset);
+instr make_store(opcode op, areg_t src, areg_t base, i32 offset);
+instr make_branch(opcode op, areg_t rs1, areg_t rs2, i32 pc_offset);
+instr make_jal(areg_t rd, i32 pc_offset);
+instr make_jalr(areg_t rd, areg_t rs1, i32 imm);
+instr make_csr(opcode op, areg_t rd, u16 csr_addr, areg_t rs1);
+instr make_sys(opcode op);
+instr make_nop();
+
+std::string to_string(const instr& ins);
+
+}  // namespace meek

@@ -1,0 +1,174 @@
+// MRV opcode definitions. MRV is the RISC-V-flavoured 64-bit ISA the
+// simulator executes; the last seven entries are the MEEK extension of
+// Table I (b.hook / b.check / l.mode / l.record / l.apply / l.jal / l.rslt).
+//
+// The X-macro keeps the decoder, assembler, disassembler and functional-unit
+// routing tables in a single place.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace meek {
+
+// Functional class: selects the functional unit on the big core, the per-op
+// latency on the little core, and the DEU's extraction decision.
+enum class op_class {
+    int_alu,
+    int_mul,
+    int_div,
+    load,
+    store,
+    branch,
+    jump,
+    fp_alu,
+    fp_mul,
+    fp_div,
+    csr,
+    system,
+    meek_big,    // b.* control instructions
+    meek_little  // l.* checker instructions
+};
+
+// Assembler/disassembler operand format.
+enum class op_format {
+    r,     // op rd, rs1, rs2
+    r2,    // op rd, rs1
+    r4,    // op rd, rs1, rs2, rs3
+    i,     // op rd, rs1, imm
+    u,     // op rd, imm
+    l,     // op rd, imm(rs1)
+    s,     // op rs2, imm(rs1)
+    b,     // op rs1, rs2, label
+    j,     // op rd, label
+    jr,    // op rd, rs1, imm
+    csr,   // op rd, csr_addr, rs1
+    m2,    // op rs1, rs2
+    m1s,   // op rs1
+    m1d,   // op rd
+    none
+};
+
+// X(name, mnemonic, class, format, fp_mask, privileged)
+// fp_mask bits: 1 = rd is FP, 2 = rs1 is FP, 4 = rs2 is FP, 8 = rs3 is FP.
+#define MEEK_OPCODE_LIST(X)                                           \
+    X(add, "add", int_alu, r, 0, false)                               \
+    X(sub, "sub", int_alu, r, 0, false)                               \
+    X(and_, "and", int_alu, r, 0, false)                              \
+    X(or_, "or", int_alu, r, 0, false)                                \
+    X(xor_, "xor", int_alu, r, 0, false)                              \
+    X(sll, "sll", int_alu, r, 0, false)                               \
+    X(srl, "srl", int_alu, r, 0, false)                               \
+    X(sra, "sra", int_alu, r, 0, false)                               \
+    X(slt, "slt", int_alu, r, 0, false)                               \
+    X(sltu, "sltu", int_alu, r, 0, false)                             \
+    X(mul, "mul", int_mul, r, 0, false)                               \
+    X(mulh, "mulh", int_mul, r, 0, false)                             \
+    X(div, "div", int_div, r, 0, false)                               \
+    X(divu, "divu", int_div, r, 0, false)                             \
+    X(rem, "rem", int_div, r, 0, false)                               \
+    X(remu, "remu", int_div, r, 0, false)                             \
+    X(addi, "addi", int_alu, i, 0, false)                             \
+    X(andi, "andi", int_alu, i, 0, false)                             \
+    X(ori, "ori", int_alu, i, 0, false)                               \
+    X(xori, "xori", int_alu, i, 0, false)                             \
+    X(slli, "slli", int_alu, i, 0, false)                             \
+    X(srli, "srli", int_alu, i, 0, false)                             \
+    X(srai, "srai", int_alu, i, 0, false)                             \
+    X(slti, "slti", int_alu, i, 0, false)                             \
+    X(sltiu, "sltiu", int_alu, i, 0, false)                           \
+    X(lui, "lui", int_alu, u, 0, false)                               \
+    X(auipc, "auipc", int_alu, u, 0, false)                           \
+    X(lb, "lb", load, l, 0, false)                                    \
+    X(lbu, "lbu", load, l, 0, false)                                  \
+    X(lh, "lh", load, l, 0, false)                                    \
+    X(lhu, "lhu", load, l, 0, false)                                  \
+    X(lw, "lw", load, l, 0, false)                                    \
+    X(lwu, "lwu", load, l, 0, false)                                  \
+    X(ld, "ld", load, l, 0, false)                                    \
+    X(sb, "sb", store, s, 0, false)                                   \
+    X(sh, "sh", store, s, 0, false)                                   \
+    X(sw, "sw", store, s, 0, false)                                   \
+    X(sd, "sd", store, s, 0, false)                                   \
+    X(beq, "beq", branch, b, 0, false)                                \
+    X(bne, "bne", branch, b, 0, false)                                \
+    X(blt, "blt", branch, b, 0, false)                                \
+    X(bge, "bge", branch, b, 0, false)                                \
+    X(bltu, "bltu", branch, b, 0, false)                              \
+    X(bgeu, "bgeu", branch, b, 0, false)                              \
+    X(jal, "jal", jump, j, 0, false)                                  \
+    X(jalr, "jalr", jump, jr, 0, false)                               \
+    X(fadd_d, "fadd.d", fp_alu, r, 0b0111, false)                     \
+    X(fsub_d, "fsub.d", fp_alu, r, 0b0111, false)                     \
+    X(fmul_d, "fmul.d", fp_mul, r, 0b0111, false)                     \
+    X(fdiv_d, "fdiv.d", fp_div, r, 0b0111, false)                     \
+    X(fsqrt_d, "fsqrt.d", fp_div, r2, 0b0011, false)                  \
+    X(fmin_d, "fmin.d", fp_alu, r, 0b0111, false)                     \
+    X(fmax_d, "fmax.d", fp_alu, r, 0b0111, false)                     \
+    X(fsgnj_d, "fsgnj.d", fp_alu, r, 0b0111, false)                   \
+    X(fmadd_d, "fmadd.d", fp_mul, r4, 0b1111, false)                  \
+    X(feq_d, "feq.d", fp_alu, r, 0b0110, false)                       \
+    X(flt_d, "flt.d", fp_alu, r, 0b0110, false)                       \
+    X(fle_d, "fle.d", fp_alu, r, 0b0110, false)                       \
+    X(fcvt_d_l, "fcvt.d.l", fp_alu, r2, 0b0001, false)                \
+    X(fcvt_l_d, "fcvt.l.d", fp_alu, r2, 0b0010, false)                \
+    X(fmv_x_d, "fmv.x.d", fp_alu, r2, 0b0010, false)                  \
+    X(fmv_d_x, "fmv.d.x", fp_alu, r2, 0b0001, false)                  \
+    X(fld, "fld", load, l, 0b0001, false)                             \
+    X(fsd, "fsd", store, s, 0b0100, false)                            \
+    X(csrrw, "csrrw", csr, csr, 0, false)                             \
+    X(csrrs, "csrrs", csr, csr, 0, false)                             \
+    X(csrrc, "csrrc", csr, csr, 0, false)                             \
+    X(ecall, "ecall", system, none, 0, false)                         \
+    X(ebreak, "ebreak", system, none, 0, false)                       \
+    X(halt, "halt", system, none, 0, false)                           \
+    X(b_hook, "b.hook", meek_big, m2, 0, true)                        \
+    X(b_check, "b.check", meek_big, m1s, 0, true)                     \
+    X(l_mode, "l.mode", meek_little, m2, 0, true)                     \
+    X(l_record, "l.record", meek_little, m1s, 0, false)               \
+    X(l_apply, "l.apply", meek_little, m1s, 0, false)                 \
+    X(l_jal, "l.jal", meek_little, m1s, 0, false)                     \
+    X(l_rslt, "l.rslt", meek_little, m1d, 0, false)
+
+enum class opcode : u8 {
+#define X(name, mnemonic, klass, fmt, fp, priv) name,
+    MEEK_OPCODE_LIST(X)
+#undef X
+};
+
+inline constexpr std::size_t k_num_opcodes = []() {
+    std::size_t n = 0;
+#define X(name, mnemonic, klass, fmt, fp, priv) ++n;
+    MEEK_OPCODE_LIST(X)
+#undef X
+    return n;
+}();
+
+op_class opcode_class(opcode op);
+op_format opcode_format(opcode op);
+std::string_view opcode_mnemonic(opcode op);
+u8 opcode_fp_mask(opcode op);
+bool opcode_privileged(opcode op);
+std::optional<opcode> opcode_from_mnemonic(std::string_view mnemonic);
+
+inline bool is_memory_op(opcode op) {
+    const op_class c = opcode_class(op);
+    return c == op_class::load || c == op_class::store;
+}
+
+inline bool is_control_flow(opcode op) {
+    const op_class c = opcode_class(op);
+    return c == op_class::branch || c == op_class::jump;
+}
+
+inline bool is_meek_op(opcode op) {
+    const op_class c = opcode_class(op);
+    return c == op_class::meek_big || c == op_class::meek_little;
+}
+
+// Memory access size in bytes for load/store opcodes; 0 for non-memory ops.
+u8 memory_access_bytes(opcode op);
+
+}  // namespace meek

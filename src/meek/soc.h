@@ -1,0 +1,161 @@
+// MEEK SoC top level: one big OoO core + N little checker cores joined by
+// the forwarding fabric, with the DEU observing commits and the segmentation
+// controller implementing the RCP protocol of Figs. 1/2.
+//
+// Clocking: the big core runs in the 3.2 GHz domain; the fabric and little
+// cores run in the 1.6 GHz domain (one low cycle per two big cycles).
+//
+// The slowdown MEEK induces on the big core appears exclusively as commit
+// backpressure, split into the Fig. 9 taxonomy:
+//   * collecting — the DEU's snapshot read-out occupies the PRF ports;
+//   * forwarding — a DC-Buffer channel is full (fabric cannot drain fast
+//     enough);
+//   * checker    — an RCP is due but no little core / LSL is free, or the
+//     reserved LSL is full mid-segment.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bigcore/ooo_core.h"
+#include "common/clock.h"
+#include "common/config.h"
+#include "deu/deu.h"
+#include "fabric/fabric.h"
+#include "littlecore/little_core.h"
+
+namespace meek {
+
+struct detection_event {
+    check_error_kind kind = check_error_kind::none;
+    u32 segment = 0;
+    cycle_t detect_big_cycle = 0;
+};
+
+struct soc_stats {
+    u64 segments_started = 0;
+    u64 segments_verified = 0;
+    u64 segments_failed = 0;
+    u64 errors_detected = 0;
+
+    // Backpressure buckets, in big-core cycles of commit stall.
+    cycle_t stall_collecting = 0;
+    cycle_t stall_forwarding = 0;
+    cycle_t stall_checker = 0;
+
+    cycle_t total_stall() const {
+        return stall_collecting + stall_forwarding + stall_checker;
+    }
+};
+
+struct meek_run_result {
+    run_result big;            // big-core view (cycles include stalls)
+    cycle_t drain_cycles = 0;  // extra big cycles to finish outstanding checks
+    soc_stats soc;
+    bool verified_ok = false;  // all segments passed (expected when no faults)
+};
+
+class meek_soc : public commit_sink {
+public:
+    meek_soc(const soc_config& cfg);
+
+    // Loads the application program onto the big core (and makes the text
+    // visible to the little cores' fetch path).
+    void load_program(const program& prog);
+
+    // b.check: enable/disable the checking capacity.
+    void set_checking(bool enabled);
+
+    // Runs the application thread to completion (or to `limits`), then
+    // drains all outstanding checker work.
+    meek_run_result run(const run_limits& limits = {});
+
+    // --- Instrumentation / fault-injection hooks ---
+    // Called on every packet right before it enters the fabric; campaigns
+    // corrupt packets here (the paper injects "errors in the forwarded data
+    // from the F2 connected to the big core").
+    using packet_hook = std::function<void(fwd_packet&)>;
+    void set_packet_hook(packet_hook hook) { packet_hook_ = std::move(hook); }
+
+    using error_hook = std::function<void(const detection_event&)>;
+    void set_error_hook(error_hook hook) { error_hook_ = std::move(hook); }
+
+    // commit_sink interface (driven by the big core).
+    cycle_t on_commit(const commit_record& rec, cycle_t proposed) override;
+    void on_halt(cycle_t at) override;
+
+    const soc_stats& stats() const { return stats_; }
+    const ooo_core& big_core() const { return *big_; }
+    ooo_core& big_core() { return *big_; }
+    const little_core& little(u32 i) const { return *littles_[i]; }
+    const fabric_model& fabric() const { return *fabric_; }
+    const data_extraction_unit& deu() const { return deu_; }
+    const std::vector<detection_event>& detections() const { return detections_; }
+    const soc_config& config() const { return cfg_; }
+
+    double big_cycle_to_ns(cycle_t c) const { return big_clock_.cycles_to_ns(c); }
+
+private:
+    struct pending_rcp {
+        arch_snapshot snapshot;
+        u32 boundary = 0;      // snapshot index (segment it starts)
+        u64 start_seq = 0;     // first instruction of the new segment
+    };
+
+    // Advance the low-frequency domain until `big_cycle`; collects checker
+    // results as they appear.
+    void advance_low_to(cycle_t big_cycle);
+    void tick_low_once();
+    void collect_results();
+
+    // Push helpers that spin the low domain until the fabric accepts,
+    // charging the wait to `stall_bucket`. Returns the (possibly later)
+    // big-cycle at which the push succeeded.
+    cycle_t push_blocking(fwd_packet p, u32 path, cycle_t now_big,
+                          cycle_t& stall_bucket);
+
+    // Emit the snapshot word stream for boundary `b` to `dest`. `seq` tags
+    // the words with the committing instruction for latency bookkeeping.
+    cycle_t send_status(const arch_snapshot& snap, u32 boundary, dest_mask_t dest,
+                        cycle_t now_big, u64 seq);
+
+    int find_idle_core() const;
+    void assign_segment(u32 core, u32 segment, u64 start_seq);
+    cycle_t fire_rcp(const commit_record& rec, cycle_t now_big, bool final_rcp);
+
+    soc_config cfg_;
+    clock_domain big_clock_;
+    clock_domain low_clock_;
+
+    functional_memory memory_;
+    std::unique_ptr<ooo_core> big_;
+    std::vector<std::unique_ptr<little_core>> littles_;
+    std::unique_ptr<fabric_model> fabric_;
+    data_extraction_unit deu_;
+
+    const program* prog_ = nullptr;
+    bool checking_ = true;
+
+    // Segmentation state.
+    u32 current_segment_ = 0;
+    int current_verifier_ = -1;
+    u32 segment_instrs_ = 0;
+    u32 segment_runtime_entries_ = 0;
+    u64 segment_start_seq_ = 0;
+    u64 committed_watermark_ = 0;  // shared with little cores (one-behind rule)
+    std::optional<pending_rcp> pending_;
+    cycle_t extract_busy_until_ = 0;
+    cycle_t low_ticks_done_ = 0;  // number of low cycles already simulated
+
+    u64 little_freq_mhz_ = 2000;  // achievable clock of the little cores
+    cycle_t little_ticks_done_ = 0;
+
+    packet_hook packet_hook_;
+    error_hook error_hook_;
+    std::vector<detection_event> detections_;
+    soc_stats stats_;
+    bool halted_seen_ = false;
+};
+
+}  // namespace meek

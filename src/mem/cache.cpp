@@ -1,0 +1,82 @@
+#include "mem/cache.h"
+
+#include <algorithm>
+
+namespace meek {
+
+cache_model::cache_model(const cache_config& cfg)
+    : cfg_(cfg), num_sets_(cfg.num_sets()), lines_(num_sets_ * cfg.ways) {}
+
+bool cache_model::lookup_and_touch(u64 line, bool is_write, cycle_t now) {
+    (void)now;
+    const std::size_t base = set_index(line) * cfg_.ways;
+    const u64 tag = tag_of(line);
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+        line_state& ls = lines_[base + w];
+        if (ls.valid && ls.tag == tag) {
+            ls.lru_stamp = ++lru_clock_;
+            ls.dirty |= is_write;
+            return true;
+        }
+    }
+    return false;
+}
+
+void cache_model::fill(u64 line, bool is_write, cycle_t at) {
+    (void)at;
+    const std::size_t base = set_index(line) * cfg_.ways;
+    const u64 tag = tag_of(line);
+    // Prefer an invalid way; otherwise evict LRU.
+    std::size_t victim = base;
+    u64 oldest = ~u64{0};
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+        line_state& ls = lines_[base + w];
+        if (!ls.valid) {
+            victim = base + w;
+            oldest = 0;
+            break;
+        }
+        if (ls.lru_stamp < oldest) {
+            oldest = ls.lru_stamp;
+            victim = base + w;
+        }
+    }
+    line_state& v = lines_[victim];
+    if (v.valid) {
+        ++stats_.evictions;
+        if (v.dirty) ++stats_.writebacks;
+    }
+    v.valid = true;
+    v.tag = tag;
+    v.dirty = is_write;
+    v.lru_stamp = ++lru_clock_;
+}
+
+std::optional<cycle_t> cache_model::find_mshr(u64 line) const {
+    for (const mshr_entry& m : mshrs_) {
+        if (m.line == line) return m.ready_at;
+    }
+    return std::nullopt;
+}
+
+void cache_model::retire_mshrs(cycle_t now) {
+    std::erase_if(mshrs_, [now](const mshr_entry& m) { return m.ready_at <= now; });
+}
+
+bool cache_model::contains(addr_t addr) const {
+    const u64 line = addr / cfg_.line_bytes;
+    const std::size_t base = set_index(line) * cfg_.ways;
+    const u64 tag = tag_of(line);
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+        const line_state& ls = lines_[base + w];
+        if (ls.valid && ls.tag == tag) return true;
+    }
+    return false;
+}
+
+void cache_model::invalidate_all() {
+    for (line_state& ls : lines_) ls = line_state{};
+    mshrs_.clear();
+}
+
+}  // namespace meek

@@ -1,0 +1,44 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+
+namespace meek {
+
+void dram_model::retire(cycle_t now) {
+    std::erase_if(in_flight_, [now](cycle_t c) { return c <= now; });
+}
+
+cycle_t dram_model::access(addr_t addr, cycle_t now) {
+    retire(now);
+    ++stats_.requests;
+
+    // Bandwidth: DDR3-1066 moves a 64 B line in ~24 big-core cycles; requests
+    // serialize on the channel.
+    constexpr cycle_t k_line_gap = 24;
+    cycle_t issue = std::max(now, last_issue_ + k_line_gap);
+
+    // Outstanding-request cap: if the queue is full, wait for the earliest
+    // completion before issuing.
+    if (in_flight_.size() >= cfg_.max_requests) {
+        const cycle_t earliest = *std::min_element(in_flight_.begin(), in_flight_.end());
+        issue = std::max(issue, earliest);
+        ++stats_.queue_delays;
+        retire(issue);
+    }
+
+    const addr_t row = addr / cfg_.row_bytes;
+    const bool row_hit = row == open_row_;
+    open_row_ = row;
+    if (row_hit) {
+        ++stats_.row_hits;
+    } else {
+        ++stats_.row_misses;
+    }
+
+    const cycle_t done = issue + (row_hit ? cfg_.row_hit_latency : cfg_.access_latency);
+    last_issue_ = issue;
+    in_flight_.push_back(done);
+    return done;
+}
+
+}  // namespace meek

@@ -1,0 +1,40 @@
+// DDR3-like main-memory timing: open-row model with a bandwidth
+// serialization constraint and a cap on outstanding requests (Table II:
+// 16 GB DDR3 @1066, max 32 requests).
+#pragma once
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace meek {
+
+struct dram_stats {
+    u64 requests = 0;
+    u64 row_hits = 0;
+    u64 row_misses = 0;
+    u64 queue_delays = 0;  // requests that waited for a free slot
+};
+
+class dram_model {
+public:
+    explicit dram_model(const dram_config& cfg) : cfg_(cfg) {}
+
+    // Completion time (in big-core cycles) for a line fetch issued at `now`.
+    // Always accepts; queueing is modeled by pushing completion out.
+    cycle_t access(addr_t addr, cycle_t now);
+
+    const dram_stats& stats() const { return stats_; }
+
+private:
+    void retire(cycle_t now);
+
+    dram_config cfg_;
+    dram_stats stats_;
+    addr_t open_row_ = ~addr_t{0};
+    cycle_t last_issue_ = 0;
+    std::vector<cycle_t> in_flight_;  // completion times of outstanding requests
+};
+
+}  // namespace meek

@@ -1,0 +1,48 @@
+#include "mem/functional_memory.h"
+
+#include <cstring>
+
+namespace meek {
+
+const functional_memory::page* functional_memory::find_page(addr_t addr) const {
+    const auto it = pages_.find(addr / k_page_bytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+functional_memory::page& functional_memory::touch_page(addr_t addr) {
+    auto& slot = pages_[addr / k_page_bytes];
+    if (!slot) {
+        slot = std::make_unique<page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+u8 functional_memory::read_byte(addr_t addr) const {
+    const page* p = find_page(addr);
+    return p ? (*p)[addr % k_page_bytes] : 0;
+}
+
+void functional_memory::write_byte(addr_t addr, u8 value) {
+    touch_page(addr)[addr % k_page_bytes] = value;
+}
+
+u64 functional_memory::read(addr_t addr, u8 size) const {
+    u64 value = 0;
+    for (u8 i = 0; i < size; ++i) {
+        value |= static_cast<u64>(read_byte(addr + i)) << (8 * i);
+    }
+    return value;
+}
+
+void functional_memory::write(addr_t addr, u8 size, u64 value) {
+    for (u8 i = 0; i < size; ++i) {
+        write_byte(addr + i, static_cast<u8>(value >> (8 * i)));
+    }
+}
+
+void functional_memory::write_block(addr_t addr, const u8* data, std::size_t len) {
+    for (std::size_t i = 0; i < len; ++i) write_byte(addr + i, data[i]);
+}
+
+}  // namespace meek

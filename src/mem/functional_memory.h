@@ -1,0 +1,39 @@
+// Sparse functional memory backing the simulated 16 GB physical address
+// space. Pages are allocated on first touch; reads of untouched memory
+// return zero, like zero-fill-on-demand.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace meek {
+
+class functional_memory {
+public:
+    static constexpr u32 k_page_bytes = 4096;
+
+    u8 read_byte(addr_t addr) const;
+    void write_byte(addr_t addr, u8 value);
+
+    // Little-endian multi-byte accessors; `size` in {1, 2, 4, 8}. Reads are
+    // zero-extended to 64 bits.
+    u64 read(addr_t addr, u8 size) const;
+    void write(addr_t addr, u8 size, u64 value);
+
+    void write_block(addr_t addr, const u8* data, std::size_t len);
+
+    std::size_t allocated_pages() const { return pages_.size(); }
+
+private:
+    using page = std::array<u8, k_page_bytes>;
+
+    const page* find_page(addr_t addr) const;
+    page& touch_page(addr_t addr);
+
+    std::unordered_map<u64, std::unique_ptr<page>> pages_;
+};
+
+}  // namespace meek

@@ -1,0 +1,33 @@
+#include "mem/hierarchy.h"
+
+namespace meek {
+
+memory_hierarchy::memory_hierarchy(const big_core_config& cfg)
+    : l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2), llc_(cfg.llc), dram_(cfg.dram) {}
+
+cycle_t memory_hierarchy::beyond_l1(addr_t addr, bool is_write, cycle_t now) {
+    const auto l2_result = l2_.access(addr, is_write, now, [&] {
+        const auto llc_result = llc_.access(addr, is_write, now, [&] {
+            return dram_.access(addr, now);
+        });
+        // LLC MSHR exhaustion degenerates to a DRAM trip (the request queues
+        // behind the LLC; modeled as full-path latency).
+        return llc_result.accepted ? llc_result.complete_at : dram_.access(addr, now);
+    });
+    return l2_result.accepted ? l2_result.complete_at
+                              : llc_.config().hit_latency + dram_.access(addr, now);
+}
+
+hierarchy_access memory_hierarchy::data_access(addr_t addr, bool is_write, cycle_t now) {
+    const auto r = l1d_.access(addr, is_write, now,
+                               [&] { return beyond_l1(addr, is_write, now); });
+    return {r.accepted, r.complete_at, r.hit};
+}
+
+hierarchy_access memory_hierarchy::inst_access(addr_t addr, cycle_t now) {
+    const auto r =
+        l1i_.access(addr, false, now, [&] { return beyond_l1(addr, false, now); });
+    return {r.accepted, r.complete_at, r.hit};
+}
+
+}  // namespace meek

@@ -1,0 +1,44 @@
+// Big-core memory hierarchy: L1I + L1D -> shared L2 -> LLC -> DRAM, all
+// latencies in big-core cycles (Table II).
+#pragma once
+
+#include "common/config.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+
+namespace meek {
+
+struct hierarchy_access {
+    bool accepted = false;
+    cycle_t complete_at = 0;
+    bool l1_hit = false;
+};
+
+class memory_hierarchy {
+public:
+    explicit memory_hierarchy(const big_core_config& cfg);
+
+    // Data-side access (through L1D). `is_write` marks the line dirty; stores
+    // are modeled write-allocate / write-back.
+    hierarchy_access data_access(addr_t addr, bool is_write, cycle_t now);
+
+    // Instruction fetch (through L1I).
+    hierarchy_access inst_access(addr_t addr, cycle_t now);
+
+    const cache_model& l1i() const { return l1i_; }
+    const cache_model& l1d() const { return l1d_; }
+    const cache_model& l2() const { return l2_; }
+    const cache_model& llc() const { return llc_; }
+    const dram_model& dram() const { return dram_; }
+
+private:
+    cycle_t beyond_l1(addr_t addr, bool is_write, cycle_t now);
+
+    cache_model l1i_;
+    cache_model l1d_;
+    cache_model l2_;
+    cache_model llc_;
+    dram_model dram_;
+};
+
+}  // namespace meek

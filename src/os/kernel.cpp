@@ -1,0 +1,155 @@
+#include "os/kernel.h"
+
+#include <stdexcept>
+
+namespace meek {
+
+kernel::kernel(meek_soc& soc)
+    : soc_(soc),
+      lsl_owner_(soc.config().num_little_cores),
+      running_little_(soc.config().num_little_cores, k_invalid_tid) {}
+
+tid_t kernel::create_task(thread_kind kind) {
+    task t;
+    t.tid = static_cast<tid_t>(tasks_.size());
+    t.kind = kind;
+    t.state = thread_state::new_release;
+    tasks_.push_back(t);
+    return t.tid;
+}
+
+task& kernel::get_task(tid_t tid) {
+    if (tid >= tasks_.size()) throw std::out_of_range("bad tid");
+    return tasks_[tid];
+}
+
+const task& kernel::get_task(tid_t tid) const {
+    if (tid >= tasks_.size()) throw std::out_of_range("bad tid");
+    return tasks_[tid];
+}
+
+tid_t kernel::register_application(tid_t app, u32 num_checkers) {
+    task& a = get_task(app);
+    if (a.kind != thread_kind::application) {
+        throw std::invalid_argument("register_application on non-app task");
+    }
+    // Coordinator function inserted before main (Sec. II): request checker
+    // resources from the OS.
+    const u32 available = static_cast<u32>(lsl_owner_.size());
+    const u32 granted = std::min(num_checkers, available);
+    const tid_t checker = create_task(thread_kind::checker);
+    get_task(checker).paired_app = app;
+    task& a2 = get_task(app);  // re-fetch: create_task may reallocate
+    for (u32 i = 0; i < granted; ++i) a2.checker_index.push_back(i);
+    return checker;
+}
+
+bool kernel::context_switch_big(tid_t next) {
+    task& t = get_task(next);
+
+    // Al. 1 line 3: MEEK.b.check(DISABLE) — kernel must not be verified with
+    // the application thread's checkers while we mutate scheduler state.
+    sys_check(false, /*kernel_mode=*/true);
+    // (Kernel.Intr(DISABLE) / Context.save: modeled by the task table.)
+    if (running_big_ != k_invalid_tid) {
+        get_task(running_big_).state = thread_state::ready;
+    }
+
+    if (t.state == thread_state::new_release) {
+        // Al. 1 lines 10-13: hook the little cores to the big core.
+        for (const u32 little : t.checker_index) {
+            if (!sys_hook(little, next, /*kernel_mode=*/true)) {
+                sys_check(true, true);
+                return false;  // contention on little cores
+            }
+        }
+        t.state = thread_state::ready;
+    }
+
+    t.state = thread_state::running;
+    running_big_ = next;
+
+    // Al. 1 line 20: MEEK.b.check(ENABLE) — only application threads with
+    // hooked checkers get verified.
+    sys_check(t.kind == thread_kind::application && !t.checker_index.empty(), true);
+    return true;
+}
+
+bool kernel::context_switch_little(u32 core, tid_t next) {
+    if (core >= running_little_.size()) return false;
+    task& t = get_task(next);
+
+    // Al. 2 line 3: default to application mode on every switch.
+    sys_mode(core, core_mode::application, /*kernel_mode=*/true);
+
+    if (t.kind == thread_kind::checker) {
+        // A pinned checker cannot migrate before re-execution completes.
+        if (t.pinned_core >= 0 && t.pinned_core != static_cast<int>(core)) {
+            return false;
+        }
+        // LSL is reserved for a single checker thread (Sec. IV-B).
+        if (lsl_owner_[core].has_value() && *lsl_owner_[core] != next) {
+            return false;
+        }
+        lsl_owner_[core] = next;
+        t.pinned_core = static_cast<int>(core);
+        // Al. 2 lines 6-8.
+        sys_mode(core, core_mode::check, true);
+    }
+
+    if (running_little_[core] != k_invalid_tid &&
+        running_little_[core] != next) {
+        task& prev = get_task(running_little_[core]);
+        if (prev.state == thread_state::running) prev.state = thread_state::ready;
+    }
+    t.state = thread_state::running;
+    running_little_[core] = next;
+    return true;
+}
+
+bool kernel::sys_hook(u32 little_core, tid_t app, bool kernel_mode) {
+    if (!kernel_mode) return false;  // Tab. I: priv 1
+    if (little_core >= lsl_owner_.size()) return false;
+    // b.hook can contend for little cores: a core checking another app
+    // cannot be re-hooked until released.
+    if (lsl_owner_[little_core].has_value()) {
+        const task& owner = get_task(*lsl_owner_[little_core]);
+        if (owner.paired_app != app && *lsl_owner_[little_core] != app) return false;
+    }
+    isa_log_.push_back({"b.hook", little_core, app});
+    return true;
+}
+
+bool kernel::sys_check(bool enable, bool kernel_mode) {
+    if (!kernel_mode) return false;
+    isa_log_.push_back({"b.check", enable ? 1u : 0u, 0});
+    soc_.set_checking(enable);
+    return true;
+}
+
+bool kernel::sys_mode(u32 little_core, core_mode mode, bool kernel_mode) {
+    if (!kernel_mode) return false;
+    if (little_core >= lsl_owner_.size()) return false;
+    isa_log_.push_back(
+        {"l.mode", little_core, mode == core_mode::check ? 1u : 0u});
+    return true;
+}
+
+bool kernel::lsl_reserved(u32 little_core) const {
+    return little_core < lsl_owner_.size() && lsl_owner_[little_core].has_value();
+}
+
+std::optional<tid_t> kernel::lsl_owner(u32 little_core) const {
+    return little_core < lsl_owner_.size() ? lsl_owner_[little_core] : std::nullopt;
+}
+
+void kernel::release_lsl(u32 little_core) {
+    if (little_core < lsl_owner_.size()) {
+        if (lsl_owner_[little_core].has_value()) {
+            get_task(*lsl_owner_[little_core]).pinned_core = -1;
+        }
+        lsl_owner_[little_core].reset();
+    }
+}
+
+}  // namespace meek

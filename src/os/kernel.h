@@ -1,0 +1,93 @@
+// OS kernel model (Sec. IV). The paper's kernel changes are confined to the
+// context-switch functions of the scheduler (Algorithms 1 and 2) plus the
+// privileged MEEK syscalls; this module reproduces exactly that surface:
+//
+//  * task table with application / checker / other threads,
+//  * Algorithm 1 — big-core context switch: disable checking, save, pick
+//    next, hook checker cores for newly-released tasks, restore, re-enable,
+//  * Algorithm 2 — little-core context switch: set application mode, switch
+//    to check mode iff the incoming task is a checker thread,
+//  * privilege enforcement for b.hook / b.check / l.mode (Tab. I),
+//  * LSL reservation: one checker thread per little core at a time; a pinned
+//    checker cannot migrate until its re-execution completes.
+//
+// The kernel records every MEEK-ISA operation it issues so tests can assert
+// the exact Algorithm-1/2 sequences.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "meek/soc.h"
+
+namespace meek {
+
+enum class thread_kind : u8 { application, checker, other };
+enum class thread_state : u8 { new_release, ready, running, blocked, finished };
+
+struct task {
+    tid_t tid = k_invalid_tid;
+    thread_kind kind = thread_kind::other;
+    thread_state state = thread_state::new_release;
+    std::vector<u32> checker_index;       // little cores hooked to this app
+    tid_t paired_app = k_invalid_tid;     // for checker threads
+    int pinned_core = -1;                 // checker: its reserved little core
+    addr_t saved_pc = 0;                  // saved context (representative)
+};
+
+// One entry per MEEK-ISA instruction the kernel executes, for test assertions
+// ("with just a few lines-of-code changes to the kernel...").
+struct isa_call {
+    std::string op;   // "b.check", "b.hook", "l.mode"
+    u64 arg0 = 0;
+    u64 arg1 = 0;
+};
+
+class kernel {
+public:
+    explicit kernel(meek_soc& soc);
+
+    // Task management.
+    tid_t create_task(thread_kind kind);
+    task& get_task(tid_t tid);
+    const task& get_task(tid_t tid) const;
+
+    // Wraps an application main with its coordinator (constructor function):
+    // requests `num_checkers` little cores from the OS and creates the
+    // checker thread bound to them. Returns the checker thread's tid.
+    tid_t register_application(tid_t app, u32 num_checkers);
+
+    // Algorithm 1: context switch on the big core. Returns false when `next`
+    // cannot be scheduled (e.g. requested checker cores unavailable).
+    bool context_switch_big(tid_t next);
+
+    // Algorithm 2: context switch on little core `core`.
+    bool context_switch_little(u32 core, tid_t next);
+
+    // Privileged MEEK syscalls. `kernel_mode` models the privilege check: the
+    // instructions trap if executed from user mode (Tab. I, Priv column).
+    bool sys_hook(u32 little_core, tid_t app, bool kernel_mode);
+    bool sys_check(bool enable, bool kernel_mode);
+    bool sys_mode(u32 little_core, core_mode mode, bool kernel_mode);
+
+    // LSL reservation status (Sec. IV-B).
+    bool lsl_reserved(u32 little_core) const;
+    std::optional<tid_t> lsl_owner(u32 little_core) const;
+    void release_lsl(u32 little_core);  // ownership returns after each checkpoint
+
+    tid_t running_on_big() const { return running_big_; }
+    const std::vector<isa_call>& isa_log() const { return isa_log_; }
+    void clear_isa_log() { isa_log_.clear(); }
+
+private:
+    meek_soc& soc_;
+    std::vector<task> tasks_;
+    std::vector<std::optional<tid_t>> lsl_owner_;  // per little core
+    tid_t running_big_ = k_invalid_tid;
+    std::vector<tid_t> running_little_;
+    std::vector<isa_call> isa_log_;
+};
+
+}  // namespace meek

@@ -1,0 +1,132 @@
+#include "os/pagefault.h"
+
+namespace meek {
+
+pf_result simulate_page_fault_scenario(const pf_scenario_config& cfg) {
+    pf_result result;
+
+    // Both cores fetch ahead of the instruction they are executing. The big
+    // core's fetch-ahead hits the absent instruction page at
+    // `checker_fault_instr` while it is committing `main_fault_instr`
+    // (= checker_fault_instr - k_fetch_ahead), entering the page-fault
+    // handler with the memory-status lock held. Without the one-behind rule
+    // the checker's own fetch-ahead reaches the same page during that window
+    // and blocks on the lock; the handler's commits then fill the finite log
+    // and the main thread starves while still holding the lock — the Fig. 5(a)
+    // circular wait. The rule pins the checker's fetch at most one
+    // instruction past its replay point, which can never pass the main
+    // thread's commit frontier, so the big core always faults first.
+    constexpr u32 k_fetch_ahead = 5;
+
+    u32 main_pos = 0;         // program instructions the main thread committed
+    u32 checker_pos = 0;      // program instructions the checker replayed
+    u32 program_backlog = 0;  // committed program entries not yet replayed
+    u32 handler_backlog = 0;  // committed handler entries not yet replayed
+    bool lock_held = false;
+    bool checker_blocked = false;
+    u32 handler_left = 0;
+    bool fault_taken = false;
+    bool page_present = false;
+
+    auto log_used = [&] { return program_backlog + handler_backlog; };
+    auto note = [&](cycle_t t, std::string what) {
+        result.timeline.push_back({t, std::move(what)});
+    };
+
+    for (cycle_t tick = 0; tick < cfg.max_ticks; ++tick) {
+        // --- Main thread (big core): one commit per 2 ticks, each commit
+        // (program or handler) needs a free log slot.
+        if (tick % 2 == 0 && main_pos < cfg.program_len) {
+            const bool space = log_used() < cfg.log_capacity;
+            if (handler_left > 0) {
+                if (space) {
+                    --handler_left;
+                    ++handler_backlog;
+                    if (handler_left == 0) {
+                        lock_held = false;
+                        page_present = true;  // the handler paged it in
+                        note(tick, "main: page-fault handler done, lock released");
+                    }
+                }
+            } else if (space) {
+                ++main_pos;
+                ++program_backlog;
+                if (main_pos == cfg.main_fault_instr && !fault_taken) {
+                    // Fetch-ahead hits the absent instruction page.
+                    fault_taken = true;
+                    lock_held = true;
+                    handler_left = cfg.pf_handler_len;
+                    note(tick, "main: instruction-page fault ahead, lock "
+                               "acquired, entering handler");
+                }
+            }
+        }
+
+        // --- Checker (little core): one replay step per tick.
+        if (checker_pos < cfg.program_len) {
+            const u32 fetch_pos =
+                checker_pos + (cfg.checker_one_behind ? 1 : k_fetch_ahead);
+            if (checker_blocked) {
+                if (!lock_held) {
+                    checker_blocked = false;
+                    page_present = true;
+                    note(tick, "checker: lock freed, page fault handled, resuming");
+                }
+            } else if (fetch_pos >= cfg.checker_fault_instr &&
+                       checker_pos < cfg.checker_fault_instr && !page_present) {
+                if (lock_held) {
+                    checker_blocked = true;
+                    note(tick, "checker: instruction-fetch fault, blocked on "
+                               "lock held by main");
+                } else {
+                    page_present = true;
+                    note(tick, "checker: page fault handled (lock was free)");
+                }
+            }
+            if (!checker_blocked) {
+                // The rule lifts once the main thread has finished (the SoC
+                // drain raises the watermark to infinity).
+                const bool rule_wait = cfg.checker_one_behind &&
+                                       checker_pos + 1 >= main_pos &&
+                                       main_pos < cfg.program_len;
+                if (program_backlog > 0 && !rule_wait) {
+                    ++checker_pos;
+                    --program_backlog;
+                } else if (handler_backlog > 0) {
+                    // Kernel commits are verified like any thread (Sec. IV-C).
+                    --handler_backlog;
+                }
+            }
+        }
+
+        if (main_pos >= cfg.program_len && checker_pos >= cfg.program_len) {
+            result.completed = true;
+            result.end_tick = tick;
+            note(tick, "both threads finished");
+            return result;
+        }
+
+        // Circular wait: main starves for log space holding the lock the
+        // checker needs to resume draining the log.
+        if (lock_held && handler_left > 0 && log_used() >= cfg.log_capacity &&
+            checker_blocked) {
+            result.deadlock = true;
+            result.end_tick = tick;
+            note(tick, "DEADLOCK: main needs log space, checker needs lock");
+            return result;
+        }
+    }
+    result.end_tick = cfg.max_ticks;
+    return result;
+}
+
+cycle_t earliest_eviction_tick(const evict_request& req, cycle_t now,
+                               cycle_t checker_instrs_per_tick) {
+    if (req.page_instr < req.checker_pos || req.page_instr >= req.segment_end) {
+        return now;  // page outside the unfinished checker's window
+    }
+    const u32 distance = req.page_instr - req.checker_pos + 1;
+    return now + (distance + checker_instrs_per_tick - 1) / checker_instrs_per_tick;
+}
+
+}  // namespace meek

@@ -1,0 +1,60 @@
+// The kernel-verification deadlock of Sec. IV-C / Fig. 5, as a focused
+// event-level model.
+//
+// The hazard: a checker thread blocks the main thread when the finite SRAM
+// log fills — the checker effectively holds a "lock" the big core needs. If
+// the big core simultaneously holds a software lock the checker needs (the
+// page-fault handler's memory-status lock, taken when the checker
+// instruction-faults after overtaking the big core), the waits form a cycle.
+//
+// The fix: keep the checker at least one instruction behind the main thread
+// (so the big core always faults first) and synchronize page-out with I/O so
+// no page used by an unfinished checker can be evicted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace meek {
+
+struct pf_scenario_config {
+    u32 log_capacity = 8;       // finite SRAM log entries (the induced "lock")
+    u32 main_fault_instr = 15;  // main thread data-faults here (takes the lock)
+    // Handler length: the deadlock needs the handler to outlast the log slack
+    // (checker_fault - main_fault + log_capacity), i.e. > 13 here — the big
+    // core then starves for log space while the checker waits on its lock.
+    u32 pf_handler_len = 16;
+    u32 checker_fault_instr = 20;  // instruction page initially absent
+    u32 program_len = 60;
+    bool checker_one_behind = true;  // the deadlock fix (Fig. 5b)
+    u32 max_ticks = 10'000;
+};
+
+struct pf_event {
+    cycle_t tick = 0;
+    std::string what;
+};
+
+struct pf_result {
+    bool deadlock = false;
+    bool completed = false;
+    cycle_t end_tick = 0;
+    std::vector<pf_event> timeline;
+};
+
+pf_result simulate_page_fault_scenario(const pf_scenario_config& cfg);
+
+// Page-out/I-O synchronization (footnote to Fig. 5b): an eviction request for
+// a page inside an unfinished checker's window must defer until the checker
+// passes it. Returns the tick at which the eviction is granted.
+struct evict_request {
+    u32 page_instr = 0;       // instruction index living on the page
+    u32 checker_pos = 0;      // checker progress at request time
+    u32 segment_end = 0;      // checker finishes its window here
+};
+cycle_t earliest_eviction_tick(const evict_request& req, cycle_t now,
+                               cycle_t checker_instrs_per_tick = 1);
+
+}  // namespace meek

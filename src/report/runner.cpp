@@ -1,0 +1,75 @@
+#include "report/runner.h"
+
+namespace meek {
+
+system_run run_on_big_core(const big_core_config& cfg, const program& prog,
+                           const run_limits& limits) {
+    functional_memory memory;
+    ooo_core core(cfg, memory);
+    core.load_program(prog);
+    const run_result r = core.run(limits, nullptr);
+    system_run out;
+    out.cycles = r.cycles;
+    out.instructions = r.instructions;
+    out.ipc = core.stats().ipc();
+    return out;
+}
+
+meek_measurement measure_meek(const soc_config& cfg, const workload_profile& profile,
+                              u64 instructions, u64 seed) {
+    const generated_workload wl = generate_workload(profile, instructions, seed);
+
+    meek_measurement m;
+    const system_run baseline = run_on_big_core(cfg.big, wl.prog);
+    m.baseline_cycles = baseline.cycles;
+
+    meek_soc soc(cfg);
+    soc.load_program(wl.prog);
+    m.meek = soc.run();
+    m.slowdown = baseline.cycles == 0
+                     ? 0.0
+                     : static_cast<double>(m.meek.big.cycles) /
+                           static_cast<double>(baseline.cycles);
+    return m;
+}
+
+slowdown_row measure_workload(const workload_profile& profile,
+                              const figure6_options& opts) {
+    slowdown_row row;
+    row.workload = profile.name;
+    row.suite = profile.suite;
+
+    soc_config cfg;
+    cfg.num_little_cores = opts.little_cores;
+
+    const generated_workload wl = generate_workload(profile, opts.instructions, opts.seed);
+    const system_run baseline = run_on_big_core(cfg.big, wl.prog);
+    row.baseline_cycles = baseline.cycles;
+
+    {
+        meek_soc soc(cfg);
+        soc.load_program(wl.prog);
+        const meek_run_result r = soc.run();
+        row.meek = static_cast<double>(r.big.cycles) /
+                   static_cast<double>(baseline.cycles);
+        row.meek_stats = r.soc;
+    }
+
+    if (opts.run_lockstep) {
+        const area_model areas;
+        const big_core_config scaled = areas.ea_lockstep_config(cfg);
+        const system_run ls = run_on_big_core(scaled, wl.prog);
+        row.lockstep = static_cast<double>(ls.cycles) /
+                       static_cast<double>(baseline.cycles);
+    }
+
+    if (opts.run_nzdc && profile.nzdc_supported) {
+        const nzdc_program transformed = transform_nzdc(wl.prog);
+        const system_run nz = run_on_big_core(cfg.big, transformed.prog);
+        row.nzdc = static_cast<double>(nz.cycles) /
+                   static_cast<double>(baseline.cycles);
+    }
+    return row;
+}
+
+}  // namespace meek

@@ -1,0 +1,62 @@
+// Shared experiment drivers: run a workload on each evaluated system
+// (vanilla big core, MEEK with N little cores and either fabric,
+// EA-LockStep's scaled core, the nZDC-transformed binary) and report
+// normalized slowdowns. Every figure bench builds on these.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "area/area_model.h"
+#include "baselines/nzdc.h"
+#include "bigcore/ooo_core.h"
+#include "common/config.h"
+#include "meek/soc.h"
+#include "workloads/generator.h"
+#include "workloads/profile.h"
+
+namespace meek {
+
+struct system_run {
+    cycle_t cycles = 0;
+    u64 instructions = 0;
+    double ipc = 0.0;
+};
+
+// Run `prog` on a standalone big core (no MEEK attached).
+system_run run_on_big_core(const big_core_config& cfg, const program& prog,
+                           const run_limits& limits = {});
+
+struct slowdown_row {
+    std::string workload;
+    std::string suite;
+    double meek = 0.0;      // slowdown vs vanilla big core (>= 1.0)
+    double lockstep = 0.0;  // EA-LockStep slowdown
+    double nzdc = 0.0;      // 0 when the workload is nZDC-unsupported
+    soc_stats meek_stats;
+    cycle_t baseline_cycles = 0;
+};
+
+struct figure6_options {
+    u64 instructions = 200'000;
+    u32 little_cores = 4;
+    bool run_lockstep = true;
+    bool run_nzdc = true;
+    u64 seed = 0xC0FFEE;
+};
+
+// Measures one workload across the Fig. 6 systems.
+slowdown_row measure_workload(const workload_profile& profile,
+                              const figure6_options& opts);
+
+// MEEK slowdown only (used by Figs. 8 and 9 sweeps). Returns the run result
+// of the MEEK configuration plus the vanilla baseline cycle count.
+struct meek_measurement {
+    meek_run_result meek;
+    cycle_t baseline_cycles = 0;
+    double slowdown = 0.0;
+};
+meek_measurement measure_meek(const soc_config& cfg, const workload_profile& profile,
+                              u64 instructions, u64 seed = 0xC0FFEE);
+
+}  // namespace meek

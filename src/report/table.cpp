@@ -1,0 +1,77 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace meek {
+
+text_table::text_table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void text_table::add_separator() { rows_.emplace_back(); }
+
+std::string text_table::render() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        out << "|";
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+            out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+        }
+        out << '\n';
+    };
+    auto emit_rule = [&] {
+        out << "+";
+        for (const std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+        out << '\n';
+    };
+
+    emit_rule();
+    emit_row(header_);
+    emit_rule();
+    for (const auto& row : rows_) {
+        if (row.empty()) {
+            emit_rule();
+        } else {
+            emit_row(row);
+        }
+    }
+    emit_rule();
+    return out.str();
+}
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+    std::ofstream out(path);
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i) out << ',';
+            out << cells[i];
+        }
+        out << '\n';
+    };
+    emit(header);
+    for (const auto& row : rows) emit(row);
+}
+
+std::string ascii_bar(double value, double max_value, std::size_t width) {
+    if (max_value <= 0.0) return {};
+    const auto n = static_cast<std::size_t>(
+        std::clamp(value / max_value, 0.0, 1.0) * static_cast<double>(width));
+    return std::string(n, '#');
+}
+
+}  // namespace meek

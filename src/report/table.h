@@ -1,0 +1,31 @@
+// Plain-text table rendering and CSV emission shared by the figure/table
+// benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace meek {
+
+class text_table {
+public:
+    explicit text_table(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+    void add_separator();
+
+    std::string render() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+};
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+// A crude horizontal bar for terminal "figures": value scaled into `width`
+// characters against `max_value`.
+std::string ascii_bar(double value, double max_value, std::size_t width = 40);
+
+}  // namespace meek

@@ -1,0 +1,31 @@
+// Synthetic-kernel generator: turns a workload_profile into an MRV program
+// whose dynamic instruction mix, working set, access regularity and branch
+// behaviour match the profile.
+//
+// Register convention (all architectural registers < x16 so the nZDC
+// transform can shadow into x16..x31):
+//   x1  outer-loop counter          x2  stack pointer (reserved)
+//   x3  data base                   x4  working-set mask (bytes)
+//   x5  xorshift PRNG state         x6  sequential cursor
+//   x7  effective-address scratch   x8..x12 rotating temporaries
+//   x13 live accumulator (feeds stores: corruption propagates)
+//   x14 write-before-read scratch   x15 stride constant
+//   f1..f6 working FP registers     f7, f8 near-1.0 constants
+#pragma once
+
+#include "isa/program.h"
+#include "workloads/profile.h"
+
+namespace meek {
+
+struct generated_workload {
+    program prog;
+    u64 expected_dynamic_instructions = 0;
+    u32 static_block_size = 0;  // instructions per loop body
+};
+
+generated_workload generate_workload(const workload_profile& profile,
+                                     u64 target_instructions,
+                                     u64 seed = 0xC0FFEE);
+
+}  // namespace meek

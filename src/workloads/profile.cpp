@@ -1,0 +1,76 @@
+#include "workloads/profile.h"
+
+#include <array>
+
+namespace meek {
+namespace {
+
+// Mixes follow the published characterizations of SPEC CPU2006 integer and
+// PARSEC workloads (instruction-class breakdowns, working sets, branch
+// behaviour); values are representative, not bit-exact.
+const std::vector<workload_profile> k_spec = {
+    // name        suite     ld    st    br    mul   div    fp    fdiv  csr    brnd  wsKB  irr
+    {"perlbench", "SPEC06", 0.24, 0.12, 0.21, 0.01, 0.002, 0.00, 0.00, 0.001, 0.10, 512, 0.25, 300'000, true},
+    {"bzip2", "SPEC06", 0.26, 0.09, 0.15, 0.01, 0.001, 0.00, 0.00, 0.001, 0.14, 2048, 0.20, 300'000, true},
+    {"gcc", "SPEC06", 0.25, 0.13, 0.20, 0.01, 0.002, 0.00, 0.00, 0.001, 0.10, 4096, 0.30, 300'000, false},
+    {"mcf", "SPEC06", 0.31, 0.09, 0.19, 0.00, 0.000, 0.00, 0.00, 0.001, 0.12, 8192, 0.75, 300'000, true},
+    {"gobmk", "SPEC06", 0.25, 0.13, 0.21, 0.01, 0.001, 0.00, 0.00, 0.001, 0.16, 512, 0.25, 300'000, true},
+    {"hmmer", "SPEC06", 0.28, 0.11, 0.08, 0.02, 0.000, 0.00, 0.00, 0.001, 0.02, 128, 0.05, 300'000, true},
+    {"sjeng", "SPEC06", 0.21, 0.08, 0.21, 0.01, 0.001, 0.00, 0.00, 0.001, 0.16, 256, 0.30, 300'000, true},
+    {"libquantum", "SPEC06", 0.20, 0.05, 0.27, 0.01, 0.000, 0.00, 0.00, 0.001, 0.06, 4096, 0.02, 300'000, true},
+    {"h264ref", "SPEC06", 0.35, 0.11, 0.08, 0.03, 0.001, 0.00, 0.00, 0.001, 0.05, 1024, 0.10, 300'000, true},
+    {"omnetpp", "SPEC06", 0.27, 0.17, 0.21, 0.01, 0.001, 0.00, 0.00, 0.001, 0.12, 8192, 0.55, 300'000, false},
+    {"astar", "SPEC06", 0.27, 0.05, 0.17, 0.01, 0.001, 0.00, 0.00, 0.001, 0.14, 4096, 0.45, 300'000, true},
+    {"xalancbmk", "SPEC06", 0.29, 0.09, 0.25, 0.00, 0.000, 0.00, 0.00, 0.001, 0.10, 8192, 0.40, 300'000, false},
+};
+
+const std::vector<workload_profile> k_parsec = {
+    {"blackscholes", "PARSEC", 0.25, 0.09, 0.06, 0.01, 0.000, 0.30, 0.018, 0.001, 0.08, 256, 0.03, 300'000, true},
+    {"bodytrack", "PARSEC", 0.28, 0.10, 0.12, 0.02, 0.001, 0.18, 0.005, 0.001, 0.08, 512, 0.08, 300'000, true},
+    {"dedup", "PARSEC", 0.25, 0.15, 0.15, 0.03, 0.001, 0.00, 0.00, 0.001, 0.10, 4096, 0.25, 300'000, true},
+    {"ferret", "PARSEC", 0.30, 0.10, 0.12, 0.02, 0.001, 0.15, 0.004, 0.001, 0.08, 2048, 0.12, 300'000, true},
+    {"fluidanimate", "PARSEC", 0.28, 0.12, 0.08, 0.01, 0.000, 0.28, 0.008, 0.001, 0.05, 1024, 0.06, 300'000, true},
+    {"streamcluster", "PARSEC", 0.30, 0.05, 0.10, 0.01, 0.000, 0.24, 0.002, 0.001, 0.04, 4096, 0.05, 300'000, true},
+    {"freqmine", "PARSEC", 0.28, 0.12, 0.17, 0.01, 0.001, 0.02, 0.00, 0.001, 0.10, 1024, 0.15, 300'000, false},
+    // swaptions: HJM Monte-Carlo swaption pricing — heavy FP division, the
+    // little-core divider bottleneck the paper calls out (22% slowdown).
+    {"swaptions", "PARSEC", 0.22, 0.08, 0.08, 0.02, 0.008, 0.28, 0.048, 0.001, 0.05, 64, 0.03, 300'000, true},
+};
+
+// Code footprints (KB of text) for the I-cache-heavy benchmarks.
+const bool k_footprints_applied = [] {
+    auto set = [](std::vector<workload_profile>& v, const char* name, u32 kb) {
+        for (auto& p : v) {
+            if (p.name == name) p.code_kb = kb;
+        }
+    };
+    auto& spec = const_cast<std::vector<workload_profile>&>(k_spec);
+    set(spec, "perlbench", 48);
+    set(spec, "gcc", 64);
+    set(spec, "gobmk", 40);
+    set(spec, "sjeng", 24);
+    set(spec, "h264ref", 24);
+    set(spec, "omnetpp", 32);
+    set(spec, "xalancbmk", 56);
+    auto& parsec = const_cast<std::vector<workload_profile>&>(k_parsec);
+    set(parsec, "bodytrack", 16);
+    set(parsec, "ferret", 16);
+    return true;
+}();
+
+}  // namespace
+
+std::span<const workload_profile> spec06_profiles() { return k_spec; }
+std::span<const workload_profile> parsec_profiles() { return k_parsec; }
+
+const workload_profile* find_profile(const std::string& name) {
+    for (const auto& p : k_spec) {
+        if (p.name == name) return &p;
+    }
+    for (const auto& p : k_parsec) {
+        if (p.name == name) return &p;
+    }
+    return nullptr;
+}
+
+}  // namespace meek

@@ -1,0 +1,60 @@
+// Per-benchmark synthetic workload profiles.
+//
+// The paper evaluates full SPECint2006 and PARSEC (simmedium). Neither suite
+// can be redistributed or compiled here, so each benchmark is replaced by a
+// synthetic kernel whose *dynamic instruction-level behaviour* is calibrated
+// to the published characterization of that benchmark: instruction-class mix
+// (loads/stores/branches/mul/div/FP), working-set size, memory-access
+// regularity and branch predictability. These are the properties MEEK's
+// overheads actually depend on: commit bandwidth, memory-op density (LSL
+// fill rate and fabric traffic), and little-core CPI on the mix (divider and
+// FPU pressure). swaptions is division-heavy, as Sec. V-A requires.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace meek {
+
+struct workload_profile {
+    std::string name;
+    std::string suite;  // "SPEC06" or "PARSEC"
+
+    // Dynamic instruction-mix fractions; the remainder is plain integer ALU.
+    double load_frac = 0.25;
+    double store_frac = 0.10;
+    double branch_frac = 0.15;
+    double mul_frac = 0.01;
+    double div_frac = 0.0;
+    double fp_frac = 0.0;      // FP add/mul (pipelined FPU classes)
+    double fp_div_frac = 0.0;  // FP divide / sqrt
+    double csr_frac = 0.001;   // non-repeatable CSR reads
+
+    // Fraction of branches that are data-dependent (unpredictable); the rest
+    // follow loop/structured patterns TAGE learns.
+    double branch_random_frac = 0.10;
+
+    u32 working_set_kb = 256;
+    double irregular_frac = 0.1;  // fraction of accesses with random indexing
+
+    u64 default_instructions = 300'000;
+
+    // nZDC could not compile gcc, omnetpp, xalancbmk, freqmine (Sec. V-A).
+    bool nzdc_supported = true;
+
+    // Static code footprint (text segment) the generator unrolls to. Large
+    // SPEC codes (gcc, perlbench, xalancbmk) stress the I-caches — which is
+    // what makes EA-LockStep's smaller L1I and nZDC's ~2.2x code expansion
+    // expensive on SPEC (and what the paper's gap analysis flags about small
+    // little-core I$ configurations).
+    u32 code_kb = 8;
+};
+
+std::span<const workload_profile> spec06_profiles();
+std::span<const workload_profile> parsec_profiles();
+const workload_profile* find_profile(const std::string& name);
+
+}  // namespace meek

@@ -1,0 +1,108 @@
+// Area-model tests: Table III anchor calibration, component monotonicity
+// (parameterized), technology scaling and the MEEK overhead arithmetic.
+#include <gtest/gtest.h>
+
+#include "area/area_model.h"
+
+namespace meek {
+namespace {
+
+TEST(area, table3_anchors) {
+    const area_model m;
+    const soc_config cfg;
+    EXPECT_NEAR(m.big_core_area(cfg.big), 2.811, 0.02);
+    EXPECT_NEAR(m.little_core_area(cfg.little), 0.092, 0.002);
+    little_core_config def;
+    def.tuning = little_core_tuning::default_rocket;
+    EXPECT_NEAR(m.little_core_area(def), 0.078, 0.002);
+    EXPECT_DOUBLE_EQ(m.deu_area(), 0.071);
+    EXPECT_DOUBLE_EQ(m.f2_area(), 0.051);
+    EXPECT_DOUBLE_EQ(m.little_wrapper_area(), 0.059);
+}
+
+TEST(area, meek_overhead_is_25_8_percent) {
+    const area_model m;
+    const soc_config cfg;
+    // 0.726 mm2 extra = 25.8% of the BOOM (Sec. V-E).
+    EXPECT_NEAR(m.meek_extra_area(cfg), 0.726, 0.01);
+    EXPECT_NEAR(m.meek_overhead_fraction(cfg), 0.258, 0.005);
+}
+
+TEST(area, overhead_scales_with_little_core_count) {
+    const area_model m;
+    soc_config two;
+    two.num_little_cores = 2;
+    soc_config six;
+    six.num_little_cores = 6;
+    EXPECT_LT(m.meek_overhead_fraction(two), m.meek_overhead_fraction(six));
+    // Each little core costs area(core) + wrapper.
+    const double per_core = m.little_core_area(two.little) + m.little_wrapper_area();
+    EXPECT_NEAR(m.meek_extra_area(six) - m.meek_extra_area(two), 4 * per_core, 1e-9);
+}
+
+struct shrink_case {
+    const char* name;
+    big_core_config (*mutate)(big_core_config);
+};
+
+class area_monotonic : public ::testing::TestWithParam<shrink_case> {};
+
+TEST_P(area_monotonic, shrinking_a_component_shrinks_the_core) {
+    const area_model m;
+    const big_core_config base;
+    const big_core_config smaller = GetParam().mutate(base);
+    EXPECT_LT(m.big_core_area(smaller), m.big_core_area(base)) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    components, area_monotonic,
+    ::testing::Values(
+        shrink_case{"rob", [](big_core_config c) { c.rob_entries = 64; return c; }},
+        shrink_case{"iq", [](big_core_config c) { c.iq_entries = 48; return c; }},
+        shrink_case{"prf", [](big_core_config c) { c.phys_int_regs = 64; return c; }},
+        shrink_case{"lsq", [](big_core_config c) { c.ldq_entries = 16; c.stq_entries = 16; return c; }},
+        shrink_case{"width", [](big_core_config c) { c.fetch_width = 2; c.decode_width = 2; c.commit_width = 2; return c; }},
+        shrink_case{"l1", [](big_core_config c) { c.l1d.size_bytes = 16 * 1024; return c; }},
+        shrink_case{"bpred", [](big_core_config c) { c.bpred.btb_entries = 64; c.bpred.tage_entries_per_table = 256; return c; }},
+        shrink_case{"fus", [](big_core_config c) { c.int_alus = 1; return c; }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(area, scaled_config_tracks_factor) {
+    const area_model m;
+    const big_core_config base;
+    const double full = m.big_core_area(base);
+    const double half = m.big_core_area(base.scaled(0.5));
+    EXPECT_LT(half, full * 0.75);
+    EXPECT_GT(half, full * 0.3);
+}
+
+TEST(area, technology_scaling_is_quadratic) {
+    EXPECT_NEAR(area_model::scale_area(1.0, 28, 28), 1.0, 1e-12);
+    EXPECT_NEAR(area_model::scale_area(1.0, 40, 28), 0.49, 1e-9);
+    EXPECT_NEAR(area_model::scale_area(0.160, 40, 28), 0.0784, 1e-4);  // DSN'18 Rocket
+    EXPECT_NEAR(area_model::scale_area(2.050, 20, 28), 4.018, 0.01);   // A57
+}
+
+TEST(area, optimized_little_core_costs_more_silicon) {
+    const area_model m;
+    little_core_config def;
+    def.tuning = little_core_tuning::default_rocket;
+    little_core_config opt;
+    opt.tuning = little_core_tuning::optimized;
+    // Paper Sec. V-F: ~17.9% more area per core than the DSN'18 synthesis.
+    const double growth = m.little_core_area(opt) / m.little_core_area(def) - 1.0;
+    EXPECT_GT(growth, 0.12);
+    EXPECT_LT(growth, 0.25);
+}
+
+TEST(area, breakdown_sums_to_total) {
+    const area_model m;
+    const big_core_config cfg;
+    double sum = 0;
+    for (const auto& entry : m.big_core_breakdown(cfg)) sum += entry.mm2;
+    EXPECT_NEAR(sum, m.big_core_area(cfg), 1e-9);
+    EXPECT_EQ(m.big_core_breakdown(cfg).size(), 12u);
+}
+
+}  // namespace
+}  // namespace meek

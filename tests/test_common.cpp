@@ -1,0 +1,229 @@
+// Unit + property tests for the common substrate: bit utilities, RNG,
+// statistics, bounded FIFO and clock domains.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/fifo.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace meek {
+namespace {
+
+TEST(bits, mask64_boundaries) {
+    EXPECT_EQ(mask64(0), 0u);
+    EXPECT_EQ(mask64(1), 1u);
+    EXPECT_EQ(mask64(8), 0xFFu);
+    EXPECT_EQ(mask64(63), 0x7FFFFFFFFFFFFFFFull);
+    EXPECT_EQ(mask64(64), ~u64{0});
+    EXPECT_EQ(mask64(70), ~u64{0});
+}
+
+class bits_roundtrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(bits_roundtrip, insert_then_extract_is_identity) {
+    const unsigned lo = GetParam();
+    const unsigned len = 64 - lo >= 13 ? 13 : 64 - lo;
+    const u64 base = 0xDEADBEEFCAFEBABEull;
+    const u64 field = 0x1ABCull & mask64(len);
+    const u64 v = insert_bits(base, lo, len, field);
+    EXPECT_EQ(bits(v, lo, len), field);
+    // Bits outside the field are untouched.
+    const u64 outside_mask = ~(mask64(len) << lo);
+    EXPECT_EQ(v & outside_mask, base & outside_mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(positions, bits_roundtrip,
+                         ::testing::Values(0u, 1u, 7u, 8u, 13u, 31u, 32u, 51u, 60u));
+
+TEST(bits, sign_extend) {
+    EXPECT_EQ(sign_extend(0xFF, 8), -1);
+    EXPECT_EQ(sign_extend(0x7F, 8), 127);
+    EXPECT_EQ(sign_extend(0x80, 8), -128);
+    EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+    EXPECT_EQ(sign_extend(0x8000'0000ull, 32), std::numeric_limits<i32>::min());
+    EXPECT_EQ(sign_extend(5, 64), 5);
+}
+
+TEST(bits, parity64) {
+    EXPECT_EQ(parity64(0), 0);
+    EXPECT_EQ(parity64(1), 1);
+    EXPECT_EQ(parity64(3), 0);
+    EXPECT_EQ(parity64(~u64{0}), 0);
+    EXPECT_EQ(parity64(u64{1} << 63), 1);
+    // Property: flipping any single bit flips the parity.
+    rng r(42);
+    for (int i = 0; i < 64; ++i) {
+        const u64 v = r.next();
+        EXPECT_NE(parity64(v), parity64(v ^ (u64{1} << i)));
+    }
+}
+
+TEST(bits, pow2_helpers) {
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(4096));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(48));
+    EXPECT_EQ(log2_floor(1), 0u);
+    EXPECT_EQ(log2_floor(4096), 12u);
+    EXPECT_EQ(log2_floor(4097), 12u);
+    EXPECT_EQ(align_up(13, 8), 16u);
+    EXPECT_EQ(align_up(16, 8), 16u);
+}
+
+TEST(rng, deterministic_and_reseedable) {
+    rng a(7);
+    rng b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+    rng c(8);
+    a.reseed(8);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), c.next());
+}
+
+TEST(rng, below_respects_bound) {
+    rng r(123);
+    for (const u64 bound : {u64{1}, u64{2}, u64{7}, u64{1000}, u64{1} << 40}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+    }
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(rng, uniform_mean_is_near_half) {
+    rng r(55);
+    double sum = 0;
+    constexpr int n = 20'000;
+    for (int i = 0; i < n; ++i) sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(running_stat, basic_moments) {
+    running_stat s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(running_stat, merge_matches_single_stream) {
+    rng r(9);
+    running_stat all;
+    running_stat lhs;
+    running_stat rhs;
+    for (int i = 0; i < 500; ++i) {
+        const double v = r.uniform() * 100;
+        all.add(v);
+        (i % 2 ? lhs : rhs).add(v);
+    }
+    lhs.merge(rhs);
+    EXPECT_EQ(lhs.count(), all.count());
+    EXPECT_NEAR(lhs.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(lhs.variance(), all.variance(), 1e-6);
+    EXPECT_EQ(lhs.min(), all.min());
+    EXPECT_EQ(lhs.max(), all.max());
+}
+
+TEST(histogram, binning_and_quantiles) {
+    histogram h(0, 100, 10);
+    for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+    EXPECT_EQ(h.total(), 100u);
+    for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bin_count(b), 10u);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.1);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.1);
+    h.add(-5);
+    h.add(1000);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(histogram, density_sums_to_one_for_in_range) {
+    histogram h(0, 10, 5);
+    for (int i = 0; i < 50; ++i) h.add(static_cast<double>(i % 10));
+    double sum = 0;
+    for (const double d : h.density()) sum += d;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(geomean_fn, matches_hand_computation) {
+    const std::vector<double> v{1.0, 2.0, 4.0};
+    EXPECT_NEAR(geomean(v), 2.0, 1e-12);
+    const std::vector<double> with_zero{0.0, 2.0, 8.0};
+    EXPECT_NEAR(geomean(with_zero), 4.0, 1e-12);  // non-positive skipped
+    EXPECT_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(bounded_fifo, backpressure_and_order) {
+    bounded_fifo<int> f(3);
+    EXPECT_TRUE(f.empty());
+    EXPECT_TRUE(f.push(1));
+    EXPECT_TRUE(f.push(2));
+    EXPECT_TRUE(f.push(3));
+    EXPECT_TRUE(f.full());
+    EXPECT_FALSE(f.push(4));  // rejected, not dropped
+    EXPECT_EQ(f.size(), 3u);
+    EXPECT_EQ(*f.pop(), 1);
+    EXPECT_EQ(f.free_slots(), 1u);
+    EXPECT_TRUE(f.push(4));
+    EXPECT_EQ(*f.pop(), 2);
+    EXPECT_EQ(*f.pop(), 3);
+    EXPECT_EQ(*f.pop(), 4);
+    EXPECT_FALSE(f.pop().has_value());
+}
+
+TEST(clock_domain, period_and_conversions) {
+    const clock_domain big(3200);
+    EXPECT_EQ(big.period_fs(), 312'500u);
+    EXPECT_NEAR(big.cycles_to_ns(3200), 1000.0, 1e-9);
+    EXPECT_NEAR(big.cycles_to_us(3'200'000), 1000.0, 1e-6);
+    EXPECT_EQ(big.ns_to_cycles(1.0), 3u);  // 3.2 cycles truncates to 3
+
+    const clock_domain low(1600);
+    EXPECT_EQ(low.period_fs(), 625'000u);
+    EXPECT_NEAR(low.cycles_to_ns(1600), 1000.0, 1e-9);
+}
+
+TEST(config, scaled_preserves_floors_and_monotonicity) {
+    const big_core_config base;
+    const big_core_config tiny = base.scaled(0.05);
+    EXPECT_GE(tiny.fetch_width, 1u);
+    EXPECT_GE(tiny.rob_entries, 4u);
+    EXPECT_GE(tiny.phys_int_regs, tiny.rob_entries / 2 + k_num_arch_regs);
+
+    const big_core_config half = base.scaled(0.5);
+    EXPECT_LT(half.rob_entries, base.rob_entries);
+    EXPECT_LT(half.l2.size_bytes, base.l2.size_bytes);
+    EXPECT_EQ(half.l1d.line_bytes, base.l1d.line_bytes);
+
+    const big_core_config same = base.scaled(1.0);
+    EXPECT_EQ(same.rob_entries, base.rob_entries);
+    EXPECT_EQ(same.iq_entries, base.iq_entries);
+}
+
+TEST(config, little_core_tuning_knobs) {
+    little_core_config def;
+    def.tuning = little_core_tuning::default_rocket;
+    EXPECT_EQ(def.div_unroll(), 1u);
+    EXPECT_EQ(def.div_latency(), 66u);
+    EXPECT_EQ(def.fpu_latency(), 4u);
+    EXPECT_EQ(def.fpu_interval(), 2u);
+    EXPECT_EQ(def.achievable_freq_mhz(), 1600u);
+
+    little_core_config opt;
+    opt.tuning = little_core_tuning::optimized;
+    EXPECT_EQ(opt.div_unroll(), 8u);
+    EXPECT_EQ(opt.div_latency(), 10u);
+    EXPECT_EQ(opt.fpu_latency(), 3u);
+    EXPECT_EQ(opt.fpu_interval(), 1u);
+    EXPECT_EQ(opt.achievable_freq_mhz(), 2000u);
+
+    EXPECT_EQ(opt.lsl_entries(), 256u);  // 4 KB / 16 B
+}
+
+}  // namespace
+}  // namespace meek

@@ -1,0 +1,153 @@
+// DEU tests: the commit detector's extraction decisions, RCP trigger
+// taxonomy, parity double-checking and extraction port costs.
+#include <gtest/gtest.h>
+
+#include "deu/deu.h"
+
+namespace meek {
+namespace {
+
+commit_record load_commit(u64 seq, addr_t addr, u64 data) {
+    commit_record rec;
+    rec.seq = seq;
+    rec.ins = make_load(opcode::ld, 5, 3, 0);
+    rec.mem = mem_intent{false, addr, 8, 0};
+    rec.load_data = data;
+    rec.load_parity = parity64(data);
+    return rec;
+}
+
+commit_record store_commit(u64 seq, addr_t addr, u64 data) {
+    commit_record rec;
+    rec.seq = seq;
+    rec.ins = make_store(opcode::sd, 5, 3, 0);
+    rec.mem = mem_intent{true, addr, 8, data};
+    return rec;
+}
+
+commit_record alu_commit(u64 seq) {
+    commit_record rec;
+    rec.seq = seq;
+    rec.ins = make_r(opcode::add, 5, 6, 7);
+    rec.reg_write = true;
+    return rec;
+}
+
+commit_record csr_commit(u64 seq, u16 addr, u64 value) {
+    commit_record rec;
+    rec.seq = seq;
+    rec.ins = make_csr(opcode::csrrs, 5, addr, 0);
+    rec.csr_read = true;
+    rec.csr_value = value;
+    return rec;
+}
+
+TEST(deu, loads_produce_runtime_packets_with_parity) {
+    data_extraction_unit deu(256, 5000);
+    const auto pkt = deu.runtime_packet(load_commit(7, 0x1000, 0xABC));
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->kind, packet_kind::runtime_load);
+    EXPECT_EQ(pkt->addr, 0x1000u);
+    EXPECT_EQ(pkt->data, 0xABCu);
+    EXPECT_EQ(pkt->parity, parity64(0xABC));
+    EXPECT_EQ(pkt->seq, 7u);
+    EXPECT_EQ(deu.stats().parity_checks, 1u);
+    EXPECT_EQ(deu.stats().parity_faults, 0u);
+}
+
+TEST(deu, lsq_window_corruption_caught_by_parity) {
+    data_extraction_unit deu(256, 5000);
+    commit_record rec = load_commit(0, 0x1000, 0xABC);
+    rec.load_data ^= 1;  // flipped after the parity bit was captured (LSQ window)
+    deu.runtime_packet(rec);
+    EXPECT_EQ(deu.stats().parity_faults, 1u);
+}
+
+TEST(deu, stores_and_csr_reads_forwarded_alu_not) {
+    data_extraction_unit deu(256, 5000);
+    const auto st = deu.runtime_packet(store_commit(1, 0x2000, 42));
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->kind, packet_kind::runtime_store);
+    EXPECT_EQ(st->data, 42u);
+
+    const auto csr = deu.runtime_packet(csr_commit(2, csr_addr::mcycle, 123));
+    ASSERT_TRUE(csr.has_value());
+    EXPECT_EQ(csr->kind, packet_kind::runtime_csr);
+    EXPECT_EQ(csr->addr, csr_addr::mcycle);
+    EXPECT_EQ(csr->data, 123u);
+
+    EXPECT_FALSE(deu.runtime_packet(alu_commit(3)).has_value());
+    EXPECT_EQ(deu.stats().runtime_packets, 2u);
+}
+
+TEST(deu, disabled_deu_extracts_nothing) {
+    data_extraction_unit deu(256, 5000);
+    deu.set_enabled(false);
+    EXPECT_FALSE(deu.runtime_packet(load_commit(0, 0x1000, 1)).has_value());
+    EXPECT_EQ(deu.check_trigger(load_commit(0, 0x1000, 1), 10'000, 10'000),
+              rcp_trigger::none);
+}
+
+TEST(deu, rcp_triggers_cover_all_three_causes) {
+    data_extraction_unit deu(256, 5000);
+
+    // LSL full.
+    EXPECT_EQ(deu.check_trigger(alu_commit(0), 256, 300), rcp_trigger::lsl_full);
+    // Instruction timeout.
+    EXPECT_EQ(deu.check_trigger(alu_commit(1), 10, 5000), rcp_trigger::timeout);
+    // Kernel trap (wins over the others).
+    commit_record trap = alu_commit(2);
+    trap.is_trap = true;
+    EXPECT_EQ(deu.check_trigger(trap, 256, 5000), rcp_trigger::kernel_trap);
+    // Nothing due.
+    EXPECT_EQ(deu.check_trigger(alu_commit(3), 255, 4999), rcp_trigger::none);
+
+    EXPECT_EQ(deu.stats().rcps_lsl_full, 1u);
+    EXPECT_EQ(deu.stats().rcps_timeout, 1u);
+    EXPECT_EQ(deu.stats().rcps_trap, 1u);
+}
+
+TEST(deu, extraction_occupies_prf_ports_for_snapshot_words) {
+    data_extraction_unit four_ports(256, 5000, 4);
+    // ceil(68 words / 4 ports)
+    EXPECT_EQ(four_ports.extraction_cycles(),
+              (k_snapshot_words + 3) / 4);
+    data_extraction_unit two_ports(256, 5000, 2);
+    EXPECT_GT(two_ports.extraction_cycles(), four_ports.extraction_cycles());
+}
+
+TEST(deu, snapshot_word_round_trip) {
+    arch_state st;
+    st.pc = 0x1234;
+    for (areg_t r = 1; r < k_num_arch_regs; ++r) st.write_x(r, 0x100u + r);
+    for (areg_t r = 0; r < k_num_arch_regs; ++r) st.write_f(r, 0x200u + r);
+    st.csrs.write(csr_addr::mscratch, 0xBEEF);
+    const arch_snapshot snap = arch_snapshot::capture(st);
+
+    arch_snapshot rebuilt;
+    for (u32 w = 0; w < k_snapshot_words; ++w) {
+        set_snapshot_word(rebuilt, w, snapshot_word(snap, w));
+    }
+    EXPECT_EQ(rebuilt, snap);
+
+    arch_state restored;
+    rebuilt.restore_to(restored);
+    EXPECT_EQ(restored.pc, 0x1234u);
+    EXPECT_EQ(restored.read_x(5), 0x105u);
+    EXPECT_EQ(restored.read_x(0), 0u);  // x0 stays hardwired
+    EXPECT_EQ(restored.read_f(31), 0x21Fu);
+    EXPECT_EQ(restored.csrs.read(csr_addr::mscratch), 0xBEEFu);
+}
+
+TEST(deu, snapshot_equality_is_bitwise) {
+    arch_state a;
+    a.write_f(1, 0x7FF8000000000000ull);  // NaN bits
+    arch_state b;
+    b.write_f(1, 0x7FF8000000000000ull);
+    EXPECT_EQ(arch_snapshot::capture(a), arch_snapshot::capture(b));
+    b.write_f(1, 0x7FF8000000000001ull);  // different NaN payload
+    EXPECT_NE(arch_snapshot::capture(a), arch_snapshot::capture(b));
+}
+
+}  // namespace
+}  // namespace meek

@@ -1,0 +1,117 @@
+// Fault-campaign tests: detection guarantees per target class
+// (parameterized), latency sanity, masking bounds and report integrity.
+#include <gtest/gtest.h>
+
+#include "fault/campaign.h"
+#include "workloads/generator.h"
+
+namespace meek {
+namespace {
+
+campaign_result small_campaign(fault_target target, u32 faults = 25,
+                               const char* workload = "hmmer") {
+    fault_campaign_config fc;
+    fc.num_faults = faults;
+    fc.target = target;
+    fc.seed = 21;
+    const u64 needed = u64{faults} * (fc.gap_instructions + 2000) + 50'000;
+    const generated_workload wl = generate_workload(*find_profile(workload), needed, 13);
+    return run_fault_campaign(soc_config{}, wl.prog, fc);
+}
+
+class campaign_targets : public ::testing::TestWithParam<fault_target> {};
+
+TEST_P(campaign_targets, faults_are_injected_and_detected) {
+    const campaign_result r = small_campaign(GetParam());
+    EXPECT_GE(r.faults.size(), 20u);
+    EXPECT_GT(r.detection_rate(), 0.9);
+    for (const fault_record& f : r.faults) {
+        if (!f.detected) continue;
+        EXPECT_GE(f.detect_big_cycle, f.inject_big_cycle);
+        // Sub-10us detection at 3.2 GHz.
+        EXPECT_LT(f.latency_cycles(), 32'000.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(targets, campaign_targets,
+                         ::testing::Values(fault_target::runtime_data,
+                                           fault_target::runtime_addr,
+                                           fault_target::status_word,
+                                           fault_target::any),
+                         [](const auto& info) {
+                             switch (info.param) {
+                                 case fault_target::runtime_data: return "data";
+                                 case fault_target::runtime_addr: return "addr";
+                                 case fault_target::status_word: return "status";
+                                 default: return "any";
+                             }
+                         });
+
+TEST(campaign, address_faults_always_detected) {
+    // Address corruption breaks the LSL compare directly: no masking path.
+    const campaign_result r = small_campaign(fault_target::runtime_addr, 30);
+    EXPECT_EQ(r.masked, 0u);
+    EXPECT_EQ(r.detected, r.faults.size());
+}
+
+TEST(campaign, injections_respect_gap) {
+    const campaign_result r = small_campaign(fault_target::any, 20);
+    for (std::size_t i = 1; i < r.faults.size(); ++i) {
+        EXPECT_GE(r.faults[i].inject_seq,
+                  r.faults[i - 1].inject_seq + 6000u);
+    }
+}
+
+TEST(campaign, latency_stats_match_records) {
+    const campaign_result r = small_campaign(fault_target::runtime_addr, 20);
+    ASSERT_GT(r.detected, 0u);
+    EXPECT_EQ(r.latency_ns.count(), r.detected);
+    EXPECT_GE(r.latency_ns.min(), 0.0);
+    EXPECT_GE(r.latency_ns.max(), r.latency_ns.mean());
+}
+
+TEST(campaign, transit_faults_caught_by_parity_immediately) {
+    fault_campaign_config fc;
+    fc.num_faults = 15;
+    fc.target = fault_target::runtime_data;
+    fc.core_side_fault = false;  // do NOT recompute parity: transit fault
+    fc.seed = 5;
+    const u64 needed = 15 * (fc.gap_instructions + 2000) + 50'000;
+    const generated_workload wl = generate_workload(*find_profile("hmmer"), needed, 13);
+    const campaign_result r = run_fault_campaign(soc_config{}, wl.prog, fc);
+    u64 parity_hits = 0;
+    for (const fault_record& f : r.faults) {
+        parity_hits += f.detected && f.kind == check_error_kind::parity_fault;
+    }
+    // Load-data flips without parity fixup are caught by the LSL parity check.
+    EXPECT_GT(parity_hits, 0u);
+}
+
+TEST(campaign, deterministic_given_seed) {
+    const campaign_result a = small_campaign(fault_target::any, 10);
+    const campaign_result b = small_campaign(fault_target::any, 10);
+    ASSERT_EQ(a.faults.size(), b.faults.size());
+    for (std::size_t i = 0; i < a.faults.size(); ++i) {
+        EXPECT_EQ(a.faults[i].inject_seq, b.faults[i].inject_seq);
+        EXPECT_EQ(a.faults[i].detect_big_cycle, b.faults[i].detect_big_cycle);
+    }
+}
+
+TEST(campaign, histogram_covers_detected_faults) {
+    const campaign_result r = small_campaign(fault_target::any, 25);
+    const histogram h = latency_histogram(r, 3200.0, 16);
+    EXPECT_EQ(h.total(), r.detected);
+}
+
+TEST(campaign, errors_only_when_faults_injected) {
+    // Control: a campaign with zero faults reports a clean run.
+    fault_campaign_config fc;
+    fc.num_faults = 0;
+    const generated_workload wl = generate_workload(*find_profile("hmmer"), 30'000, 13);
+    const campaign_result r = run_fault_campaign(soc_config{}, wl.prog, fc);
+    EXPECT_TRUE(r.faults.empty());
+    EXPECT_EQ(r.detected, 0u);
+}
+
+}  // namespace
+}  // namespace meek

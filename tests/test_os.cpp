@@ -1,0 +1,201 @@
+// OS-model tests: the Algorithm 1/2 context-switch sequences, MEEK syscall
+// privilege enforcement, LSL reservation/pinning, and the Fig. 5 deadlock
+// with both of the paper's fixes (parameterized over scenario settings).
+#include <gtest/gtest.h>
+
+#include "os/kernel.h"
+#include "os/pagefault.h"
+
+namespace meek {
+namespace {
+
+struct os_fixture {
+    soc_config cfg;
+    meek_soc soc{cfg};
+    kernel os{soc};
+};
+
+TEST(kernel_model, algorithm1_sequence_for_new_release) {
+    os_fixture f;
+    const tid_t app = f.os.create_task(thread_kind::application);
+    f.os.register_application(app, 2);
+    f.os.clear_isa_log();
+    ASSERT_TRUE(f.os.context_switch_big(app));
+
+    const auto& log = f.os.isa_log();
+    ASSERT_EQ(log.size(), 4u);
+    // Al. 1 line 3: disable checking first.
+    EXPECT_EQ(log[0].op, "b.check");
+    EXPECT_EQ(log[0].arg0, 0u);
+    // Lines 10-13: hook each granted little core.
+    EXPECT_EQ(log[1].op, "b.hook");
+    EXPECT_EQ(log[2].op, "b.hook");
+    // Line 20: re-enable on the way out.
+    EXPECT_EQ(log[3].op, "b.check");
+    EXPECT_EQ(log[3].arg0, 1u);
+    EXPECT_EQ(f.os.running_on_big(), app);
+}
+
+TEST(kernel_model, algorithm1_no_rehook_on_second_switch) {
+    os_fixture f;
+    const tid_t app = f.os.create_task(thread_kind::application);
+    f.os.register_application(app, 2);
+    f.os.context_switch_big(app);
+    const tid_t other = f.os.create_task(thread_kind::other);
+    f.os.context_switch_big(other);
+    f.os.clear_isa_log();
+    // Second switch to the (no longer new) app: no hooks, just check toggles.
+    f.os.context_switch_big(app);
+    for (const isa_call& call : f.os.isa_log()) {
+        EXPECT_NE(call.op, "b.hook");
+    }
+}
+
+TEST(kernel_model, other_threads_disable_checking) {
+    os_fixture f;
+    const tid_t other = f.os.create_task(thread_kind::other);
+    f.os.clear_isa_log();
+    f.os.context_switch_big(other);
+    const auto& log = f.os.isa_log();
+    ASSERT_GE(log.size(), 2u);
+    // Final b.check must be DISABLE: no checkers hooked for this thread.
+    EXPECT_EQ(log.back().op, "b.check");
+    EXPECT_EQ(log.back().arg0, 0u);
+}
+
+TEST(kernel_model, algorithm2_sets_mode_per_thread_kind) {
+    os_fixture f;
+    const tid_t app = f.os.create_task(thread_kind::application);
+    const tid_t checker = f.os.register_application(app, 1);
+    const tid_t other = f.os.create_task(thread_kind::other);
+
+    f.os.clear_isa_log();
+    ASSERT_TRUE(f.os.context_switch_little(0, other));
+    ASSERT_EQ(f.os.isa_log().size(), 1u);  // only MODE_APPLICATION
+    EXPECT_EQ(f.os.isa_log()[0].arg1, 0u);
+
+    f.os.clear_isa_log();
+    ASSERT_TRUE(f.os.context_switch_little(0, checker));
+    ASSERT_EQ(f.os.isa_log().size(), 2u);  // APPLICATION then CHECK (Al. 2 l.3+7)
+    EXPECT_EQ(f.os.isa_log()[1].arg1, 1u);
+}
+
+TEST(kernel_model, privileged_syscalls_trap_in_user_mode) {
+    os_fixture f;
+    const tid_t app = f.os.create_task(thread_kind::application);
+    EXPECT_FALSE(f.os.sys_hook(0, app, /*kernel_mode=*/false));
+    EXPECT_FALSE(f.os.sys_check(true, false));
+    EXPECT_FALSE(f.os.sys_mode(0, core_mode::check, false));
+    EXPECT_TRUE(f.os.sys_check(true, true));
+}
+
+TEST(kernel_model, lsl_reserved_for_single_checker) {
+    os_fixture f;
+    const tid_t app1 = f.os.create_task(thread_kind::application);
+    const tid_t chk1 = f.os.register_application(app1, 1);
+    const tid_t app2 = f.os.create_task(thread_kind::application);
+    const tid_t chk2 = f.os.register_application(app2, 1);
+
+    ASSERT_TRUE(f.os.context_switch_little(0, chk1));
+    EXPECT_TRUE(f.os.lsl_reserved(0));
+    EXPECT_EQ(*f.os.lsl_owner(0), chk1);
+    // A second checker cannot claim the reserved LSL.
+    EXPECT_FALSE(f.os.context_switch_little(0, chk2));
+    // Ownership returns to the OS after the checkpoint completes.
+    f.os.release_lsl(0);
+    EXPECT_FALSE(f.os.lsl_reserved(0));
+    EXPECT_TRUE(f.os.context_switch_little(0, chk2));
+}
+
+TEST(kernel_model, pinned_checker_cannot_migrate) {
+    os_fixture f;
+    const tid_t app = f.os.create_task(thread_kind::application);
+    const tid_t chk = f.os.register_application(app, 2);
+    ASSERT_TRUE(f.os.context_switch_little(0, chk));
+    // Pinned to core 0 until re-execution completes: core 1 refuses it.
+    EXPECT_FALSE(f.os.context_switch_little(1, chk));
+    f.os.release_lsl(0);
+    EXPECT_TRUE(f.os.context_switch_little(1, chk));
+}
+
+TEST(kernel_model, hook_contention_is_refused) {
+    os_fixture f;
+    const tid_t app1 = f.os.create_task(thread_kind::application);
+    const tid_t chk1 = f.os.register_application(app1, 1);
+    ASSERT_TRUE(f.os.context_switch_little(0, chk1));
+    // Hooking core 0 for an unrelated app fails while reserved.
+    const tid_t app2 = f.os.create_task(thread_kind::application);
+    EXPECT_FALSE(f.os.sys_hook(0, app2, true));
+}
+
+// --- Fig. 5 deadlock scenarios ---
+
+TEST(pagefault, deadlock_without_one_behind_rule) {
+    pf_scenario_config cfg;
+    cfg.checker_one_behind = false;
+    const pf_result r = simulate_page_fault_scenario(cfg);
+    EXPECT_TRUE(r.deadlock);
+    EXPECT_FALSE(r.completed);
+}
+
+TEST(pagefault, one_behind_rule_prevents_deadlock) {
+    pf_scenario_config cfg;
+    cfg.checker_one_behind = true;
+    const pf_result r = simulate_page_fault_scenario(cfg);
+    EXPECT_FALSE(r.deadlock);
+    EXPECT_TRUE(r.completed);
+}
+
+// The deadlock requires the handler to outlast the log slack; shorter
+// handlers drain before the log fills even without the rule.
+class pagefault_handler_sweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(pagefault_handler_sweep, deadlock_depends_on_handler_length) {
+    pf_scenario_config cfg;
+    cfg.checker_one_behind = false;
+    cfg.pf_handler_len = GetParam();
+    const pf_result r = simulate_page_fault_scenario(cfg);
+    // The checker drains the program backlog before blocking, so the
+    // handler deadlocks exactly when it outlasts the log capacity.
+    if (cfg.pf_handler_len > cfg.log_capacity) {
+        EXPECT_TRUE(r.deadlock) << "handler " << GetParam();
+    } else {
+        EXPECT_FALSE(r.deadlock) << "handler " << GetParam();
+        EXPECT_TRUE(r.completed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(lengths, pagefault_handler_sweep,
+                         ::testing::Values(4u, 6u, 8u, 9u, 12u, 20u, 30u));
+
+TEST(pagefault, rule_safe_across_log_capacities) {
+    for (const u32 capacity : {2u, 4u, 8u, 16u}) {
+        pf_scenario_config cfg;
+        cfg.checker_one_behind = true;
+        cfg.log_capacity = capacity;
+        const pf_result r = simulate_page_fault_scenario(cfg);
+        EXPECT_FALSE(r.deadlock) << "capacity " << capacity;
+        EXPECT_TRUE(r.completed) << "capacity " << capacity;
+    }
+}
+
+TEST(pagefault, eviction_defers_inside_checker_window) {
+    // Page behind the checker: evict immediately.
+    EXPECT_EQ(earliest_eviction_tick({.page_instr = 5, .checker_pos = 10,
+                                      .segment_end = 100},
+                                     50),
+              50u);
+    // Page past the segment end: evict immediately.
+    EXPECT_EQ(earliest_eviction_tick({.page_instr = 120, .checker_pos = 10,
+                                      .segment_end = 100},
+                                     50),
+              50u);
+    // Page inside the unfinished window: wait for the checker to pass it.
+    EXPECT_EQ(earliest_eviction_tick({.page_instr = 30, .checker_pos = 10,
+                                      .segment_end = 100},
+                                     50),
+              71u);
+}
+
+}  // namespace
+}  // namespace meek

@@ -1,0 +1,175 @@
+// Workload-generator tests: all 20 SPEC/PARSEC profiles produce valid
+// programs whose dynamic mix tracks the profile, run deterministically, and
+// verify cleanly under MEEK (the core end-to-end property, parameterized
+// over every workload).
+#include <gtest/gtest.h>
+
+#include "bigcore/ooo_core.h"
+#include "meek/soc.h"
+#include "workloads/generator.h"
+
+namespace meek {
+namespace {
+
+std::vector<workload_profile> all_profiles() {
+    std::vector<workload_profile> out;
+    for (const auto& p : spec06_profiles()) out.push_back(p);
+    for (const auto& p : parsec_profiles()) out.push_back(p);
+    return out;
+}
+
+TEST(profiles, suites_have_paper_counts) {
+    EXPECT_EQ(spec06_profiles().size(), 12u);   // full SPECint2006
+    EXPECT_EQ(parsec_profiles().size(), 8u);    // PARSEC subset of Fig. 6
+}
+
+TEST(profiles, nzdc_build_failures_match_paper) {
+    // Sec. V-A: compilation fails for gcc, omnetpp, xalancbmk, freqmine.
+    for (const char* name : {"gcc", "omnetpp", "xalancbmk", "freqmine"}) {
+        const workload_profile* p = find_profile(name);
+        ASSERT_NE(p, nullptr) << name;
+        EXPECT_FALSE(p->nzdc_supported) << name;
+    }
+    u32 unsupported = 0;
+    for (const auto& p : all_profiles()) unsupported += !p.nzdc_supported;
+    EXPECT_EQ(unsupported, 4u);
+}
+
+TEST(profiles, find_profile_lookup) {
+    EXPECT_NE(find_profile("mcf"), nullptr);
+    EXPECT_NE(find_profile("swaptions"), nullptr);
+    EXPECT_EQ(find_profile("doom"), nullptr);
+}
+
+TEST(generator, deterministic_for_fixed_seed) {
+    const workload_profile& p = *find_profile("hmmer");
+    const generated_workload a = generate_workload(p, 50'000, 7);
+    const generated_workload b = generate_workload(p, 50'000, 7);
+    ASSERT_EQ(a.prog.size(), b.prog.size());
+    for (std::size_t i = 0; i < a.prog.text.size(); ++i) {
+        EXPECT_EQ(a.prog.text[i], b.prog.text[i]);
+    }
+    const generated_workload c = generate_workload(p, 50'000, 8);
+    EXPECT_NE(encode(a.prog.text.back()), 0u);
+    EXPECT_FALSE(a.prog.text == c.prog.text);
+}
+
+TEST(generator, registers_stay_below_shadow_set) {
+    // nZDC needs x16..x31 / f16..f31 free.
+    for (const auto& p : all_profiles()) {
+        const generated_workload wl = generate_workload(p, 10'000, 1);
+        for (const instr& ins : wl.prog.text) {
+            if (ins.writes_rd()) EXPECT_LT(ins.rd, 16) << p.name;
+            if (ins.reads_rs1()) EXPECT_LT(ins.rs1, 16) << p.name;
+            if (ins.reads_rs2()) EXPECT_LT(ins.rs2, 16) << p.name;
+            if (ins.reads_rs3()) EXPECT_LT(ins.rs3, 16) << p.name;
+        }
+    }
+}
+
+// End-to-end: every workload halts on the big core and the dynamic mix
+// tracks its profile within tolerance.
+class workload_mix : public ::testing::TestWithParam<workload_profile> {};
+
+TEST_P(workload_mix, dynamic_mix_tracks_profile) {
+    const workload_profile& p = GetParam();
+    const generated_workload wl = generate_workload(p, 60'000, 3);
+
+    functional_memory memory;
+    ooo_core core(big_core_config{}, memory);
+    core.load_program(wl.prog);
+    const run_result r = core.run({.max_cycles = 30'000'000});
+    ASSERT_TRUE(r.halted) << p.name;
+    EXPECT_GT(r.instructions, 30'000u) << p.name;
+    EXPECT_LT(r.instructions, 200'000u) << p.name;
+
+    const core_stats& s = core.stats();
+    const double n = static_cast<double>(s.instructions);
+    // Loads/stores within 40% relative: the generator's addressing/fold
+    // overhead counts toward the integer fraction, diluting the others a
+    // little, exactly as real address arithmetic does.
+    EXPECT_NEAR(static_cast<double>(s.loads) / n, p.load_frac,
+                p.load_frac * 0.40 + 0.01)
+        << p.name;
+    EXPECT_NEAR(static_cast<double>(s.stores) / n, p.store_frac,
+                p.store_frac * 0.40 + 0.01)
+        << p.name;
+    if (p.fp_frac > 0.05) {
+        EXPECT_NEAR(static_cast<double>(s.fp_ops) / n, p.fp_frac + p.fp_div_frac,
+                    (p.fp_frac + p.fp_div_frac) * 0.4)
+            << p.name;
+    }
+    if (p.div_frac + p.fp_div_frac > 0.01) {
+        EXPECT_GT(s.div_ops + s.fp_div_ops, 0u) << p.name;
+    }
+    EXPECT_GT(s.csr_ops, 0u) << p.name;  // non-repeatable path exercised
+}
+
+INSTANTIATE_TEST_SUITE_P(all, workload_mix, ::testing::ValuesIn(all_profiles()),
+                         [](const auto& info) { return info.param.name; });
+
+// The fundamental MEEK property: with no faults, every workload verifies
+// cleanly and the checkers replay exactly the committed stream.
+class workload_verification : public ::testing::TestWithParam<workload_profile> {};
+
+TEST_P(workload_verification, verifies_under_meek) {
+    const workload_profile& p = GetParam();
+    const generated_workload wl = generate_workload(p, 30'000, 5);
+
+    soc_config cfg;
+    meek_soc soc(cfg);
+    soc.load_program(wl.prog);
+    const meek_run_result r = soc.run();
+    ASSERT_TRUE(r.big.halted) << p.name;
+    EXPECT_TRUE(r.verified_ok) << p.name;
+    EXPECT_EQ(r.soc.segments_failed, 0u) << p.name;
+    EXPECT_EQ(r.soc.segments_started, r.soc.segments_verified) << p.name;
+
+    u64 replayed = 0;
+    for (u32 i = 0; i < cfg.num_little_cores; ++i) {
+        replayed += soc.little(i).stats().replayed_instructions;
+    }
+    EXPECT_EQ(replayed, soc.big_core().stats().instructions) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(all, workload_verification,
+                         ::testing::ValuesIn(all_profiles()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(generator, swaptions_is_division_heavy) {
+    // The paper's little-core bottleneck depends on this property.
+    const generated_workload wl = generate_workload(*find_profile("swaptions"),
+                                                    40'000, 2);
+    functional_memory memory;
+    ooo_core core(big_core_config{}, memory);
+    core.load_program(wl.prog);
+    core.run({});
+    const core_stats& s = core.stats();
+    const double div_share = static_cast<double>(s.fp_div_ops + s.div_ops) /
+                             static_cast<double>(s.instructions);
+    EXPECT_GT(div_share, 0.02);
+    // And it must be the most division-heavy PARSEC workload.
+    for (const auto& other : parsec_profiles()) {
+        EXPECT_LE(other.fp_div_frac + other.div_frac,
+                  find_profile("swaptions")->fp_div_frac +
+                      find_profile("swaptions")->div_frac)
+            << other.name;
+    }
+}
+
+TEST(generator, instruction_budget_is_respected) {
+    const workload_profile& p = *find_profile("bzip2");
+    for (const u64 target : {20'000ull, 100'000ull, 400'000ull}) {
+        const generated_workload wl = generate_workload(p, target, 1);
+        functional_memory memory;
+        ooo_core core(big_core_config{}, memory);
+        core.load_program(wl.prog);
+        const run_result r = core.run({});
+        ASSERT_TRUE(r.halted);
+        EXPECT_GT(r.instructions, target / 2);
+        EXPECT_LT(r.instructions, target * 2);
+    }
+}
+
+}  // namespace
+}  // namespace meek

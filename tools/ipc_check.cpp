@@ -1,0 +1,29 @@
+#include <cstdio>
+#include "report/runner.h"
+using namespace meek;
+int main() {
+    for (const auto& p : parsec_profiles()) {
+        const auto wl = generate_workload(p, 150000, 0xC0FFEE);
+        functional_memory mem;
+        ooo_core core(big_core_config{}, mem);
+        core.load_program(wl.prog);
+        core.run(run_limits{}, nullptr);
+        const auto& s = core.stats();
+        std::printf("%-14s IPC %.2f  ld%.0f%% st%.0f%% br%.0f%% fp%.0f%% mispred %.1f%% icache %llu l1dmiss %.0f%%\n",
+            p.name.c_str(), s.ipc(), 100.0*s.loads/s.instructions,
+            100.0*s.stores/s.instructions, 100.0*s.branches/s.instructions,
+            100.0*s.fp_ops/s.instructions,
+            100.0*s.mispredicts/std::max<u64>(1,s.branches),
+            (unsigned long long)s.stall_icache,
+            100.0*core.hierarchy().l1d().stats().miss_rate());
+    }
+    for (const auto& p : spec06_profiles()) {
+        const auto wl = generate_workload(p, 150000, 0xC0FFEE);
+        functional_memory mem;
+        ooo_core core(big_core_config{}, mem);
+        core.load_program(wl.prog);
+        core.run(run_limits{}, nullptr);
+        std::printf("%-14s IPC %.2f\n", p.name.c_str(), core.stats().ipc());
+    }
+    return 0;
+}
