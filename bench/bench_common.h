@@ -1,14 +1,17 @@
 // Shared helpers for the figure/table benches: option parsing (--quick for
-// CI-sized runs), paper-reference constants, and output formatting.
+// CI-sized runs, --threads for the executor fan-out), paper-reference
+// constants, and output formatting.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
 #include "report/table.h"
+#include "sim/executor.h"
 
 namespace meek::bench {
 
@@ -16,6 +19,7 @@ struct bench_options {
     bool quick = false;       // smaller dynamic instruction counts
     u64 instructions = 200'000;
     u32 faults_per_workload = 400;
+    u32 threads = 0;          // 0 -> MEEK_THREADS env, else hardware threads
 
     static bench_options parse(int argc, char** argv) {
         bench_options o;
@@ -28,6 +32,13 @@ struct bench_options {
             if (std::strcmp(argv[i], "--full") == 0) {
                 o.instructions = 500'000;
                 o.faults_per_workload = 2'000;
+            }
+            if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+                const int v = std::atoi(argv[i] + 10);
+                o.threads = v > 0 ? static_cast<u32>(v) : 0;  // <= 0: auto
+            } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+                const int v = std::atoi(argv[++i]);
+                o.threads = v > 0 ? static_cast<u32>(v) : 0;
             }
         }
         return o;

@@ -11,44 +11,22 @@
 using namespace meek;
 using namespace meek::bench;
 
-namespace {
-
-// Verification throughput: replayed instructions per *compute* low-domain
-// cycle, aggregated over all little cores during a MEEK run. Cycles spent
-// waiting for data (LSL empty, SRCP busy-wait, the one-behind rule) measure
-// the producer, not the checker, and are excluded — Fig. 10 compares the
-// core's capability for the verification job.
-double verification_throughput(const soc_config& cfg, const workload_profile& p,
-                               u64 instructions) {
-    const generated_workload wl = generate_workload(p, instructions, 0xF16);
-    meek_soc soc(cfg);
-    soc.load_program(wl.prog);
-    soc.run();
-    u64 replayed = 0;
-    cycle_t compute = 0;
-    for (u32 i = 0; i < cfg.num_little_cores; ++i) {
-        const little_core_stats& s = soc.little(i).stats();
-        replayed += s.replayed_instructions;
-        const cycle_t waits = s.stall_lsl_empty + s.stall_watermark + s.stall_srcp;
-        compute += s.busy_cycles > waits ? s.busy_cycles - waits : 0;
-    }
-    return compute == 0 ? 0.0
-                        : static_cast<double>(replayed) / static_cast<double>(compute);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
     const bench_options opts = bench_options::parse(argc, argv);
     print_header("Figure 10: little-core performance/area (PARSEC verification)",
                  "optimized vs default Rocket: +15.2% geomean, up to +19.5%; "
                  "4 optimized ~= 6 default");
 
+    sim::executor ex(opts.threads);
+    std::printf("[sim] %u worker thread(s)\n", ex.num_threads());
+
     const area_model areas;
-    little_core_config def_cfg;
-    def_cfg.tuning = little_core_tuning::default_rocket;
-    little_core_config opt_cfg;
-    opt_cfg.tuning = little_core_tuning::optimized;
+    const sim::scenario def_sc =
+        sim::meek_scenario(4, fabric_kind::f2, little_core_tuning::default_rocket);
+    const sim::scenario opt_sc =
+        sim::meek_scenario(4, fabric_kind::f2, little_core_tuning::optimized);
+    const little_core_config def_cfg = def_sc.soc().little;
+    const little_core_config opt_cfg = opt_sc.soc().little;
 
     const double def_area = areas.little_core_area(def_cfg) + areas.little_wrapper_area();
     const double opt_area = areas.little_core_area(opt_cfg) + areas.little_wrapper_area();
@@ -61,17 +39,24 @@ int main(int argc, char** argv) {
     std::vector<double> pa_ratios;
     double max_ratio = 0.0;
 
-    for (const workload_profile& p : parsec_profiles()) {
-        soc_config def_soc;
-        def_soc.little = def_cfg;
-        const double thr_def =
-            verification_throughput(def_soc, p, opts.instructions) *
-            static_cast<double>(def_cfg.achievable_freq_mhz());
+    // One verification-throughput sim job per (tuning x workload), fanned out
+    // across the executor; the job reduces to replayed instructions and
+    // checker compute cycles (see sim::run_outcome).
+    const std::span<const workload_profile> profiles = parsec_profiles();
+    std::vector<sim::run_spec> specs;
+    for (const workload_profile& p : profiles) {
+        specs.push_back({def_sc, p, opts.instructions, 0xF16});
+        specs.push_back({opt_sc, p, opts.instructions, 0xF16});
+    }
+    const std::vector<sim::run_outcome> outs = sim::execute_all(ex, specs);
 
-        soc_config opt_soc;
-        opt_soc.little = opt_cfg;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const workload_profile& p = profiles[i];
+        const double thr_def =
+            verification_throughput(outs[2 * i]) *
+            static_cast<double>(def_cfg.achievable_freq_mhz());
         const double thr_opt =
-            verification_throughput(opt_soc, p, opts.instructions) *
+            verification_throughput(outs[2 * i + 1]) *
             static_cast<double>(opt_cfg.achievable_freq_mhz());
 
         const double perf_ratio = thr_def > 0 ? thr_opt / thr_def : 0.0;
@@ -98,15 +83,15 @@ int main(int argc, char** argv) {
     // Sec. V-D claim: 4 optimized little cores match 6 default ones.
     std::vector<double> opt4;
     std::vector<double> def6;
-    for (const workload_profile& p : parsec_profiles()) {
-        soc_config c4;
-        c4.num_little_cores = 4;
-        c4.little = opt_cfg;
-        opt4.push_back(measure_meek(c4, p, opts.instructions / 2).slowdown);
-        soc_config c6;
-        c6.num_little_cores = 6;
-        c6.little = def_cfg;
-        def6.push_back(measure_meek(c6, p, opts.instructions / 2).slowdown);
+    for (const meek_measurement& m : measure_meek_suite(
+             sim::meek_scenario(4, fabric_kind::f2, little_core_tuning::optimized),
+             profiles, opts.instructions / 2, ex)) {
+        opt4.push_back(m.slowdown);
+    }
+    for (const meek_measurement& m : measure_meek_suite(
+             sim::meek_scenario(6, fabric_kind::f2, little_core_tuning::default_rocket),
+             profiles, opts.instructions / 2, ex)) {
+        def6.push_back(m.slowdown);
     }
     const double gm4 = geomean(opt4);
     const double gm6 = geomean(def6);

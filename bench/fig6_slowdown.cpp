@@ -22,16 +22,17 @@ struct suite_summary {
 };
 
 void run_suite(std::span<const workload_profile> profiles, const figure6_options& opts,
-               text_table& table, suite_summary& summary,
+               sim::executor& ex, text_table& table, suite_summary& summary,
                std::vector<std::vector<std::string>>& csv_rows) {
-    for (const workload_profile& p : profiles) {
-        const slowdown_row row = measure_workload(p, opts);
+    // One sim job per (workload x system), fanned out across the executor;
+    // rows come back in profile order.
+    for (const slowdown_row& row : measure_suite(profiles, opts, ex)) {
         summary.meek.push_back(row.meek);
         summary.lockstep.push_back(row.lockstep);
         if (row.nzdc > 0) summary.nzdc.push_back(row.nzdc);
-        table.add_row({p.name, fmt(row.meek), fmt(row.lockstep),
+        table.add_row({row.workload, fmt(row.meek), fmt(row.lockstep),
                        row.nzdc > 0 ? fmt(row.nzdc) : "n/a (build fail)"});
-        csv_rows.push_back({p.suite, p.name, fmt(row.meek), fmt(row.lockstep),
+        csv_rows.push_back({row.suite, row.workload, fmt(row.meek), fmt(row.lockstep),
                             row.nzdc > 0 ? fmt(row.nzdc) : ""});
         std::fflush(stdout);
     }
@@ -49,11 +50,14 @@ int main(int argc, char** argv) {
     fig.instructions = opts.instructions;
     fig.little_cores = 4;
 
+    sim::executor ex(opts.threads);
+    std::printf("[sim] %u worker thread(s)\n", ex.num_threads());
+
     text_table table({"workload", "MEEK (ours)", "EA-LockStep", "Nzdc"});
     std::vector<std::vector<std::string>> csv_rows;
 
     suite_summary spec;
-    run_suite(spec06_profiles(), fig, table, spec, csv_rows);
+    run_suite(spec06_profiles(), fig, ex, table, spec, csv_rows);
     table.add_separator();
     const double spec_meek = geomean(spec.meek);
     const double spec_ls = geomean(spec.lockstep);
@@ -62,7 +66,7 @@ int main(int argc, char** argv) {
     table.add_separator();
 
     suite_summary parsec;
-    run_suite(parsec_profiles(), fig, table, parsec, csv_rows);
+    run_suite(parsec_profiles(), fig, ex, table, parsec, csv_rows);
     table.add_separator();
     const double par_meek = geomean(parsec.meek);
     const double par_ls = geomean(parsec.lockstep);

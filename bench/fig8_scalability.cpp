@@ -20,20 +20,26 @@ int main(int argc, char** argv) {
     std::vector<std::vector<std::string>> csv_rows;
     std::array<std::vector<double>, 3> per_count;
 
-    for (const workload_profile& p : parsec_profiles()) {
-        std::vector<std::string> cells{p.name};
-        std::vector<std::string> csv{p.name};
+    sim::executor ex(opts.threads);
+    std::printf("[sim] %u worker thread(s)\n", ex.num_threads());
+
+    // One parallel sweep per core count: each workload's baseline + MEEK runs
+    // are independent sim jobs behind measure_meek_suite.
+    const std::span<const workload_profile> profiles = parsec_profiles();
+    for (std::size_t i = 0; i < core_counts.size(); ++i) {
+        const auto ms = measure_meek_suite(sim::meek_scenario(core_counts[i]),
+                                           profiles, opts.instructions, ex);
+        for (const meek_measurement& m : ms) per_count[i].push_back(m.slowdown);
+    }
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        std::vector<std::string> cells{profiles[w].name};
+        std::vector<std::string> csv{profiles[w].name};
         for (std::size_t i = 0; i < core_counts.size(); ++i) {
-            soc_config cfg;
-            cfg.num_little_cores = core_counts[i];
-            const meek_measurement m = measure_meek(cfg, p, opts.instructions);
-            per_count[i].push_back(m.slowdown);
-            cells.push_back(fmt(m.slowdown));
-            csv.push_back(fmt(m.slowdown));
+            cells.push_back(fmt(per_count[i][w]));
+            csv.push_back(fmt(per_count[i][w]));
         }
         table.add_row(cells);
         csv_rows.push_back(csv);
-        std::fflush(stdout);
     }
 
     table.add_separator();

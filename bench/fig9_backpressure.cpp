@@ -51,13 +51,20 @@ int main(int argc, char** argv) {
     std::vector<double> f2_collfwd;
     std::vector<double> axi_fwd;
 
-    for (const workload_profile& p : parsec_profiles()) {
-        soc_config f2_cfg;
-        const decomposition f2 = decompose(measure_meek(f2_cfg, p, opts.instructions));
+    sim::executor ex(opts.threads);
+    std::printf("[sim] %u worker thread(s)\n", ex.num_threads());
 
-        soc_config axi_cfg;
-        axi_cfg.fabric.kind = fabric_kind::axi_interconnect;
-        const decomposition axi = decompose(measure_meek(axi_cfg, p, opts.instructions));
+    const std::span<const workload_profile> profiles = parsec_profiles();
+    const auto f2_runs = measure_meek_suite(sim::meek_scenario(4, fabric_kind::f2),
+                                            profiles, opts.instructions, ex);
+    const auto axi_runs = measure_meek_suite(
+        sim::meek_scenario(4, fabric_kind::axi_interconnect), profiles,
+        opts.instructions, ex);
+
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const workload_profile& p = profiles[i];
+        const decomposition f2 = decompose(f2_runs[i]);
+        const decomposition axi = decompose(axi_runs[i]);
 
         f2_slow.push_back(f2.slowdown);
         axi_slow.push_back(axi.slowdown);

@@ -1,23 +1,28 @@
 // Simulator micro-benchmarks (google-benchmark): raw component throughput of
 // the models themselves — useful for gauging how long the figure benches
-// take and for catching performance regressions in the simulator.
+// take and for catching performance regressions in the simulator. The
+// system-level benches submit sim jobs through the scenario registry and the
+// sim::executor, the same substrate the figure benches run on.
 #include <benchmark/benchmark.h>
 
 #include "bpred/tage.h"
+#include "fault/campaign.h"
 #include "isa/assembler.h"
 #include "mem/cache.h"
-#include "meek/soc.h"
 #include "report/runner.h"
+#include "sim/executor.h"
+#include "sim/job.h"
 #include "workloads/generator.h"
 
 namespace meek {
 namespace {
 
 void bm_big_core_simulation(benchmark::State& state) {
-    const auto wl = generate_workload(*find_profile("hmmer"), 50'000, 1);
+    const sim::run_spec spec{sim::vanilla_scenario(), *find_profile("hmmer"),
+                             50'000, 1};
     u64 instructions = 0;
     for (auto _ : state) {
-        const system_run r = run_on_big_core(big_core_config{}, wl.prog);
+        const sim::run_outcome r = sim::execute(spec);
         instructions += r.instructions;
         benchmark::DoNotOptimize(r.cycles);
     }
@@ -27,19 +32,58 @@ void bm_big_core_simulation(benchmark::State& state) {
 BENCHMARK(bm_big_core_simulation)->Unit(benchmark::kMillisecond);
 
 void bm_meek_soc_simulation(benchmark::State& state) {
-    const auto wl = generate_workload(*find_profile("hmmer"), 50'000, 1);
+    const sim::run_spec spec{sim::meek_scenario(4), *find_profile("hmmer"),
+                             50'000, 1};
     u64 instructions = 0;
     for (auto _ : state) {
-        meek_soc soc{soc_config{}};
-        soc.load_program(wl.prog);
-        const auto r = soc.run();
-        instructions += r.big.instructions;
-        benchmark::DoNotOptimize(r.big.cycles);
+        const sim::run_outcome r = sim::execute(spec);
+        instructions += r.instructions;
+        benchmark::DoNotOptimize(r.cycles);
     }
     state.counters["sim_instr/s"] = benchmark::Counter(
         static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(bm_meek_soc_simulation)->Unit(benchmark::kMillisecond);
+
+// Executor fan-out over a batch of MEEK jobs; arg = worker-thread count. On a
+// multi-core host the per-batch wall time should drop near-linearly until the
+// core count is reached.
+void bm_executor_fanout(benchmark::State& state) {
+    sim::executor ex(static_cast<u32>(state.range(0)));
+    std::vector<sim::run_spec> specs;
+    for (int i = 0; i < 8; ++i) {
+        specs.push_back({sim::meek_scenario(4), *find_profile("hmmer"), 20'000,
+                         static_cast<u64>(i)});
+    }
+    u64 instructions = 0;
+    for (auto _ : state) {
+        const auto outs = sim::execute_all(ex, specs);
+        for (const sim::run_outcome& r : outs) instructions += r.instructions;
+    }
+    state.counters["sim_instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_executor_fanout)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Sharded fault campaign through the executor; arg = worker-thread count.
+// Results are bit-identical across arg values (see test_sim).
+void bm_parallel_campaign(benchmark::State& state) {
+    sim::executor ex(static_cast<u32>(state.range(0)));
+    const soc_config cfg = sim::meek_scenario(4).soc();
+    fault_campaign_config fc;
+    fc.num_faults = 100;
+    fc.seed = 7;
+    const u64 needed = u64{fc.num_faults} * (fc.gap_instructions + 2'000) + 50'000;
+    const auto wl = generate_workload(*find_profile("streamcluster"), needed, 11);
+    u64 faults = 0;
+    for (auto _ : state) {
+        const campaign_result r = run_fault_campaign(cfg, wl.prog, fc, ex);
+        faults += r.faults.size();
+    }
+    state.counters["faults/s"] = benchmark::Counter(
+        static_cast<double>(faults), benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_parallel_campaign)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void bm_tage_predict_update(benchmark::State& state) {
     tage_predictor tage{branch_predictor_config{}};

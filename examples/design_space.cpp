@@ -6,6 +6,7 @@
 //   $ ./examples/design_space [workload]       (default: swaptions)
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "area/area_model.h"
 #include "common/stats.h"
@@ -29,30 +30,34 @@ int main(int argc, char** argv) {
     std::printf("%-28s %-10s %-10s %-12s %s\n", "configuration", "slowdown",
                 "overhead", "stall split", "(coll/fwd/chk big-cycles)");
 
-    for (const fabric_kind fabric : {fabric_kind::f2, fabric_kind::axi_interconnect}) {
-        for (const little_core_tuning tuning :
-             {little_core_tuning::optimized, little_core_tuning::default_rocket}) {
-            for (const u32 cores : {2u, 4u, 6u}) {
-                soc_config cfg;
-                cfg.num_little_cores = cores;
-                cfg.fabric.kind = fabric;
-                cfg.little.tuning = tuning;
+    // Every MEEK point in the scenario registry, plus one shared vanilla
+    // baseline, fanned out as independent sim jobs.
+    std::vector<sim::scenario> points;
+    for (const sim::scenario& sc : sim::all_scenarios()) {
+        if (sc.system == sim::system_kind::meek) points.push_back(sc);
+    }
 
-                const meek_measurement m = measure_meek(cfg, *profile, k_instructions);
-                const double overhead = areas.meek_overhead_fraction(cfg);
+    sim::executor ex;
+    std::vector<sim::run_spec> specs;
+    specs.push_back({sim::vanilla_scenario(), *profile, k_instructions, 0xC0FFEE});
+    for (const sim::scenario& sc : points) {
+        specs.push_back({sc, *profile, k_instructions, 0xC0FFEE});
+    }
+    const std::vector<sim::run_outcome> outs = sim::execute_all(ex, specs);
+    const double baseline = static_cast<double>(outs[0].cycles);
 
-                char label[64];
-                std::snprintf(label, sizeof label, "%s %s %u-core",
-                              fabric == fabric_kind::f2 ? "F2 " : "AXI",
-                              tuning == little_core_tuning::optimized ? "opt" : "def",
-                              cores);
-                std::printf("%-28s %-10.3f %-10s %llu/%llu/%llu\n", label, m.slowdown,
-                            format_percent(overhead, 1).c_str(),
-                            static_cast<unsigned long long>(m.meek.soc.stall_collecting),
-                            static_cast<unsigned long long>(m.meek.soc.stall_forwarding),
-                            static_cast<unsigned long long>(m.meek.soc.stall_checker));
-            }
-        }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const sim::scenario& sc = points[i];
+        const sim::run_outcome& out = outs[i + 1];
+        const double slowdown =
+            baseline > 0 ? static_cast<double>(out.cycles) / baseline : 0.0;
+        const double overhead = areas.meek_overhead_fraction(sc.soc());
+
+        std::printf("%-28s %-10.3f %-10s %llu/%llu/%llu\n", sc.name.c_str(),
+                    slowdown, format_percent(overhead, 1).c_str(),
+                    static_cast<unsigned long long>(out.stats.stall_collecting),
+                    static_cast<unsigned long long>(out.stats.stall_forwarding),
+                    static_cast<unsigned long long>(out.stats.stall_checker));
     }
 
     std::printf("\nreading the frontier:\n");

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "fault/campaign.h"
+#include "sim/scenario.h"
 #include "workloads/generator.h"
 
 using namespace meek;
@@ -38,8 +39,11 @@ int main(int argc, char** argv) {
         return 1;
     }
 
-    soc_config cfg;  // Table II defaults, 4 little cores
-    std::printf("fault campaign on '%s' (4 little cores)\n\n", name.c_str());
+    // Table II defaults, 4 little cores — resolved through the registry.
+    const soc_config cfg = sim::meek_scenario(4).soc();
+    sim::executor ex;  // MEEK_THREADS workers; campaigns shard deterministically
+    std::printf("fault campaign on '%s' (4 little cores, %u sim threads)\n\n",
+                name.c_str(), ex.num_threads());
 
     for (const fault_target target :
          {fault_target::runtime_data, fault_target::runtime_addr,
@@ -50,7 +54,7 @@ int main(int argc, char** argv) {
         fc.seed = 99;
         const u64 needed = fc.num_faults * (fc.gap_instructions + 2000) + 50'000;
         const generated_workload wl = generate_workload(*profile, needed, 3);
-        const campaign_result result = run_fault_campaign(cfg, wl.prog, fc);
+        const campaign_result result = run_fault_campaign(cfg, wl.prog, fc, ex);
 
         std::printf("target: %-22s injected %zu  detected %llu (%s)\n",
                     target_name(target), result.faults.size(),

@@ -22,10 +22,24 @@ bool eligible(packet_kind kind, fault_target target) {
     return false;
 }
 
-}  // namespace
+// Instruction budget for one shard: warmup, then each fault needs its gap
+// plus a detection window; the fixed tail mirrors how the benches size their
+// programs. Depends only on the shard's config, never on thread count.
+run_limits shard_limits(const fault_campaign_config& shard_cfg) {
+    run_limits limits;
+    limits.max_instructions =
+        shard_cfg.shard_warmup_instructions +
+        u64{shard_cfg.num_faults} * (shard_cfg.gap_instructions + 2'000) +
+        shard_cfg.detection_horizon + 50'000;
+    return limits;
+}
 
-campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& prog,
-                                   const fault_campaign_config& cfg) {
+// One sequential injection run, bounded by `limits`. `warmup` delays the
+// first eligible injection (zero for the serial campaign, which reaches
+// steady state naturally; shards use it to skip the cold-start window).
+campaign_result run_campaign_once(const soc_config& soc_cfg, const program& prog,
+                                  const fault_campaign_config& cfg,
+                                  const run_limits& limits, u64 warmup) {
     campaign_result result;
     rng r(cfg.seed);
 
@@ -35,7 +49,7 @@ campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& pro
 
     bool outstanding = false;
     fault_record current;
-    u64 next_eligible_seq = cfg.gap_instructions;
+    u64 next_eligible_seq = warmup + cfg.gap_instructions;
     u64 injected = 0;
 
     soc.set_packet_hook([&](fwd_packet& pkt) {
@@ -88,7 +102,7 @@ campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& pro
         next_eligible_seq = current.inject_seq + cfg.gap_instructions;
     });
 
-    soc.run();
+    soc.run(limits);
 
     if (outstanding) {
         current.detected = false;
@@ -98,13 +112,57 @@ campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& pro
     return result;
 }
 
+}  // namespace
+
+campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& prog,
+                                   const fault_campaign_config& cfg) {
+    return run_campaign_once(soc_cfg, prog, cfg, run_limits{}, /*warmup=*/0);
+}
+
+campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& prog,
+                                   const fault_campaign_config& cfg,
+                                   sim::executor& ex) {
+    const u32 per_shard = std::max<u32>(1, cfg.faults_per_shard);
+    const std::size_t shards = (cfg.num_faults + per_shard - 1) / per_shard;
+    if (shards <= 1) {
+        // A single shard still goes through the derived stream so the result
+        // is independent of whether the executor path was taken.
+        fault_campaign_config shard_cfg = cfg;
+        shard_cfg.seed = sim::derive_stream_seed(cfg.seed, 0);
+        return run_campaign_once(soc_cfg, prog, shard_cfg, shard_limits(shard_cfg),
+                                 cfg.shard_warmup_instructions);
+    }
+
+    std::vector<campaign_result> partials = ex.run_indexed(
+        shards, cfg.seed, [&](const sim::job_context& ctx) {
+            fault_campaign_config shard_cfg = cfg;
+            shard_cfg.seed = ctx.stream_seed;
+            const u32 first = static_cast<u32>(ctx.index) * per_shard;
+            shard_cfg.num_faults = std::min(per_shard, cfg.num_faults - first);
+            return run_campaign_once(soc_cfg, prog, shard_cfg,
+                                     shard_limits(shard_cfg),
+                                     cfg.shard_warmup_instructions);
+        });
+
+    campaign_result merged;
+    for (campaign_result& p : partials) {
+        merged.faults.insert(merged.faults.end(), p.faults.begin(), p.faults.end());
+        merged.detected += p.detected;
+        merged.masked += p.masked;
+        merged.latency_ns.merge(p.latency_ns);
+    }
+    return merged;
+}
+
 histogram latency_histogram(const campaign_result& result, double max_ns,
                             std::size_t bins) {
     histogram h(0.0, max_ns, bins);
     for (const fault_record& f : result.faults) {
-        if (!f.detected) continue;
-        const double ns = static_cast<double>(f.latency_cycles()) * 0.3125;  // 3.2 GHz
-        h.add(ns);
+        // Masked faults carry no latency; skip them explicitly rather than
+        // binning a bogus zero.
+        const std::optional<double> cycles = f.latency_cycles();
+        if (!cycles) continue;
+        h.add(*cycles * 0.3125);  // 3.2 GHz
     }
     return h;
 }

@@ -10,12 +10,14 @@
 // (e.g. a corrupted load value that dies before reaching any store or RCP).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "isa/program.h"
 #include "meek/soc.h"
+#include "sim/executor.h"
 
 namespace meek {
 
@@ -44,6 +46,20 @@ struct fault_campaign_config {
     // can detect it). When false, the flip models an F2-transit fault and
     // the LSL's parity check catches it on arrival.
     bool core_side_fault = true;
+
+    // Parallel decomposition: the executor overload splits the campaign into
+    // ceil(num_faults / faults_per_shard) independent shards, each with its
+    // own SoC and rng stream derived from (seed, shard index). The split is a
+    // pure function of this config — never of the thread count — so merged
+    // records are bit-identical whether 1 or 16 workers ran the shards.
+    //
+    // Each shard replays the program from the start (simulation cannot be
+    // fast-forwarded), so shards sample the workload's steady-state loop
+    // region rather than disjoint stream offsets; `shard_warmup_instructions`
+    // keeps every shard's injections out of the cold-cache startup window the
+    // serial campaign only traverses once.
+    u32 faults_per_shard = 50;
+    u64 shard_warmup_instructions = 20'000;
 };
 
 struct fault_record {
@@ -54,8 +70,12 @@ struct fault_record {
     check_error_kind kind = check_error_kind::none;
     packet_kind corrupted_kind = packet_kind::runtime_load;
 
-    double latency_cycles() const {
-        return detected ? static_cast<double>(detect_big_cycle - inject_big_cycle) : 0.0;
+    // Detection latency in big-core cycles; nullopt for masked faults (a
+    // masked fault has no latency — it must not be conflated with a
+    // zero-latency detection in percentile aggregation).
+    std::optional<double> latency_cycles() const {
+        if (!detected) return std::nullopt;
+        return static_cast<double>(detect_big_cycle - inject_big_cycle);
     }
 };
 
@@ -76,6 +96,15 @@ struct campaign_result {
 // end regardless.
 campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& prog,
                                    const fault_campaign_config& cfg);
+
+// Parallel campaign: fans fixed-size fault shards (see `faults_per_shard`)
+// out across `ex`'s workers; each shard runs its own SoC over `prog` with a
+// per-shard rng stream and an instruction budget sized to its fault count,
+// and the per-shard records/accumulators are merged in shard order at join.
+// Deterministic at any thread count for a given config.
+campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& prog,
+                                   const fault_campaign_config& cfg,
+                                   sim::executor& ex);
 
 // Convenience: latency histogram in ns over detected faults.
 histogram latency_histogram(const campaign_result& result, double max_ns = 3200.0,

@@ -1,6 +1,70 @@
 #include "report/runner.h"
 
+#include "bigcore/ooo_core.h"
+#include "mem/functional_memory.h"
+
 namespace meek {
+namespace {
+
+// The Fig. 6 job list for one workload, in fixed reduction order.
+std::vector<sim::run_spec> fig6_specs(const workload_profile& profile,
+                                      const figure6_options& opts) {
+    std::vector<sim::run_spec> specs;
+    auto add = [&](const sim::scenario& sc) {
+        specs.push_back({sc, profile, opts.instructions, opts.seed});
+    };
+    add(sim::vanilla_scenario());
+    add(sim::meek_scenario(opts.little_cores));
+    if (opts.run_lockstep) add(sim::ea_lockstep_scenario());
+    if (opts.run_nzdc) add(sim::nzdc_scenario());
+    return specs;
+}
+
+slowdown_row reduce_fig6(const workload_profile& profile,
+                         std::span<const sim::run_outcome> outs) {
+    slowdown_row row;
+    row.workload = profile.name;
+    row.suite = profile.suite;
+
+    double baseline = 0.0;
+    for (const sim::run_outcome& out : outs) {
+        if (out.scenario == "vanilla") {
+            row.baseline_cycles = out.cycles;
+            baseline = static_cast<double>(out.cycles);
+        }
+    }
+    if (baseline == 0.0) return row;
+
+    for (const sim::run_outcome& out : outs) {
+        const double slowdown = static_cast<double>(out.cycles) / baseline;
+        if (out.scenario == "ea-lockstep") {
+            row.lockstep = slowdown;
+        } else if (out.scenario == "nzdc") {
+            row.nzdc = out.skipped ? 0.0 : slowdown;
+        } else if (out.scenario.starts_with("meek/")) {
+            row.meek = slowdown;
+            row.meek_stats = out.stats;
+        }
+    }
+    return row;
+}
+
+meek_measurement reduce_meek(const sim::run_outcome& baseline,
+                             const sim::run_outcome& meek) {
+    meek_measurement m;
+    m.baseline_cycles = baseline.cycles;
+    m.meek.big.cycles = meek.cycles;
+    m.meek.big.instructions = meek.instructions;
+    m.meek.soc = meek.stats;
+    m.meek.verified_ok = meek.verified_ok;
+    m.slowdown = baseline.cycles == 0
+                     ? 0.0
+                     : static_cast<double>(meek.cycles) /
+                           static_cast<double>(baseline.cycles);
+    return m;
+}
+
+}  // namespace
 
 system_run run_on_big_core(const big_core_config& cfg, const program& prog,
                            const run_limits& limits) {
@@ -15,61 +79,85 @@ system_run run_on_big_core(const big_core_config& cfg, const program& prog,
     return out;
 }
 
-meek_measurement measure_meek(const soc_config& cfg, const workload_profile& profile,
-                              u64 instructions, u64 seed) {
-    const generated_workload wl = generate_workload(profile, instructions, seed);
-
-    meek_measurement m;
-    const system_run baseline = run_on_big_core(cfg.big, wl.prog);
-    m.baseline_cycles = baseline.cycles;
-
-    meek_soc soc(cfg);
-    soc.load_program(wl.prog);
-    m.meek = soc.run();
-    m.slowdown = baseline.cycles == 0
-                     ? 0.0
-                     : static_cast<double>(m.meek.big.cycles) /
-                           static_cast<double>(baseline.cycles);
-    return m;
-}
-
 slowdown_row measure_workload(const workload_profile& profile,
                               const figure6_options& opts) {
-    slowdown_row row;
-    row.workload = profile.name;
-    row.suite = profile.suite;
+    const std::vector<sim::run_spec> specs = fig6_specs(profile, opts);
+    std::vector<sim::run_outcome> outs;
+    outs.reserve(specs.size());
+    for (const sim::run_spec& spec : specs) outs.push_back(sim::execute(spec));
+    return reduce_fig6(profile, outs);
+}
 
-    soc_config cfg;
-    cfg.num_little_cores = opts.little_cores;
-
-    const generated_workload wl = generate_workload(profile, opts.instructions, opts.seed);
-    const system_run baseline = run_on_big_core(cfg.big, wl.prog);
-    row.baseline_cycles = baseline.cycles;
-
-    {
-        meek_soc soc(cfg);
-        soc.load_program(wl.prog);
-        const meek_run_result r = soc.run();
-        row.meek = static_cast<double>(r.big.cycles) /
-                   static_cast<double>(baseline.cycles);
-        row.meek_stats = r.soc;
+std::vector<slowdown_row> measure_suite(std::span<const workload_profile> profiles,
+                                        const figure6_options& opts,
+                                        sim::executor& ex) {
+    std::vector<sim::run_spec> specs;
+    std::vector<std::size_t> first_of;  // index of each profile's first spec
+    for (const workload_profile& p : profiles) {
+        first_of.push_back(specs.size());
+        for (sim::run_spec& spec : fig6_specs(p, opts)) {
+            specs.push_back(std::move(spec));
+        }
     }
+    const std::vector<sim::run_outcome> outs = sim::execute_all(ex, specs);
 
-    if (opts.run_lockstep) {
-        const area_model areas;
-        const big_core_config scaled = areas.ea_lockstep_config(cfg);
-        const system_run ls = run_on_big_core(scaled, wl.prog);
-        row.lockstep = static_cast<double>(ls.cycles) /
-                       static_cast<double>(baseline.cycles);
+    std::vector<slowdown_row> rows;
+    rows.reserve(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const std::size_t begin = first_of[i];
+        const std::size_t end = i + 1 < first_of.size() ? first_of[i + 1] : outs.size();
+        rows.push_back(reduce_fig6(
+            profiles[i], std::span(outs).subspan(begin, end - begin)));
     }
+    return rows;
+}
 
-    if (opts.run_nzdc && profile.nzdc_supported) {
-        const nzdc_program transformed = transform_nzdc(wl.prog);
-        const system_run nz = run_on_big_core(cfg.big, transformed.prog);
-        row.nzdc = static_cast<double>(nz.cycles) /
-                   static_cast<double>(baseline.cycles);
+meek_measurement measure_meek(const sim::scenario& sc, const workload_profile& profile,
+                              u64 instructions, u64 seed) {
+    const sim::run_outcome baseline =
+        sim::execute({sim::vanilla_scenario(), profile, instructions, seed});
+    const sim::run_outcome meek = sim::execute({sc, profile, instructions, seed});
+    return reduce_meek(baseline, meek);
+}
+
+meek_measurement measure_meek(const soc_config& cfg, const workload_profile& profile,
+                              u64 instructions, u64 seed) {
+    // The caller's exact config is simulated via soc_override — a soc_config
+    // customized beyond the registry knobs must not be silently replaced by
+    // Table-II defaults. The baseline likewise runs on the caller's big core.
+    sim::run_spec baseline{sim::vanilla_scenario(), profile, instructions, seed};
+    baseline.soc_override = cfg;
+    sim::run_spec meek{sim::meek_scenario(cfg.num_little_cores, cfg.fabric.kind,
+                                          cfg.little.tuning),
+                       profile, instructions, seed};
+    meek.soc_override = cfg;
+    return reduce_meek(sim::execute(baseline), sim::execute(meek));
+}
+
+std::vector<meek_measurement> measure_meek_suite(
+    const sim::scenario& sc, std::span<const workload_profile> profiles,
+    u64 instructions, sim::executor& ex, u64 seed) {
+    std::vector<sim::run_spec> specs;
+    specs.reserve(profiles.size() * 2);
+    for (const workload_profile& p : profiles) {
+        specs.push_back({sim::vanilla_scenario(), p, instructions, seed});
+        specs.push_back({sc, p, instructions, seed});
     }
-    return row;
+    const std::vector<sim::run_outcome> outs = sim::execute_all(ex, specs);
+
+    std::vector<meek_measurement> ms;
+    ms.reserve(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        ms.push_back(reduce_meek(outs[2 * i], outs[2 * i + 1]));
+    }
+    return ms;
+}
+
+double verification_throughput(const sim::run_outcome& out) {
+    return out.checker_compute_cycles == 0
+               ? 0.0
+               : static_cast<double>(out.replayed_instructions) /
+                     static_cast<double>(out.checker_compute_cycles);
 }
 
 }  // namespace meek

@@ -2,17 +2,23 @@
 // (vanilla big core, MEEK with N little cores and either fabric,
 // EA-LockStep's scaled core, the nZDC-transformed binary) and report
 // normalized slowdowns. Every figure bench builds on these.
+//
+// All drivers are thin reductions over the sim layer: each (workload x
+// system) pair becomes a `sim::run_spec` job, and the suite variants fan the
+// jobs out across a `sim::executor` — per-job accumulators are merged after
+// the deterministic join, so N-thread results match 1-thread results.
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
-#include "area/area_model.h"
-#include "baselines/nzdc.h"
-#include "bigcore/ooo_core.h"
 #include "common/config.h"
 #include "meek/soc.h"
-#include "workloads/generator.h"
+#include "sim/executor.h"
+#include "sim/job.h"
+#include "sim/scenario.h"
 #include "workloads/profile.h"
 
 namespace meek {
@@ -45,9 +51,16 @@ struct figure6_options {
     u64 seed = 0xC0FFEE;
 };
 
-// Measures one workload across the Fig. 6 systems.
+// Measures one workload across the Fig. 6 systems (serial; one sim job per
+// system under the hood).
 slowdown_row measure_workload(const workload_profile& profile,
                               const figure6_options& opts);
+
+// Fig. 6 suite driver: every (workload x system) run is an independent sim
+// job submitted through `ex`; rows come back in profile order.
+std::vector<slowdown_row> measure_suite(std::span<const workload_profile> profiles,
+                                        const figure6_options& opts,
+                                        sim::executor& ex);
 
 // MEEK slowdown only (used by Figs. 8 and 9 sweeps). Returns the run result
 // of the MEEK configuration plus the vanilla baseline cycle count.
@@ -56,7 +69,21 @@ struct meek_measurement {
     cycle_t baseline_cycles = 0;
     double slowdown = 0.0;
 };
+meek_measurement measure_meek(const sim::scenario& sc, const workload_profile& profile,
+                              u64 instructions, u64 seed = 0xC0FFEE);
 meek_measurement measure_meek(const soc_config& cfg, const workload_profile& profile,
                               u64 instructions, u64 seed = 0xC0FFEE);
+
+// Parallel MEEK-vs-baseline sweep of one scenario over many workloads;
+// results in profile order.
+std::vector<meek_measurement> measure_meek_suite(
+    const sim::scenario& sc, std::span<const workload_profile> profiles,
+    u64 instructions, sim::executor& ex, u64 seed = 0xC0FFEE);
+
+// Fig. 10 metric: replayed instructions per little-core *compute* cycle of a
+// MEEK run reduction. Cycles spent waiting for data (LSL empty, SRCP
+// busy-wait, the one-behind rule) measure the producer, not the checker, and
+// are excluded by the job-side reduction.
+double verification_throughput(const sim::run_outcome& out);
 
 }  // namespace meek

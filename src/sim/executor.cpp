@@ -1,0 +1,67 @@
+#include "sim/executor.h"
+
+#include <cstdlib>
+
+namespace meek::sim {
+
+u64 derive_stream_seed(u64 base_seed, u64 stream_index) {
+    // splitmix64 over the pair; the golden-ratio stride separates adjacent
+    // indices far enough that xoshiro's splitmix seeding stays uncorrelated.
+    u64 z = base_seed + (stream_index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u32 resolve_thread_count(u32 requested) {
+    if (requested > 0) return requested;
+    if (const char* env = std::getenv("MEEK_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0) return static_cast<u32>(v);
+    }
+    const u32 hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+executor::executor(u32 num_threads) {
+    const u32 n = resolve_thread_count(num_threads);
+    workers_.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+executor::~executor() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+void executor::enqueue(std::function<void()> task) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void executor::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and fully drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // packaged_task routes any exception into the job's future; nothing
+        // escapes into the worker loop.
+        task();
+    }
+}
+
+}  // namespace meek::sim

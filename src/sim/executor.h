@@ -1,0 +1,120 @@
+// Parallel experiment executor: a std::thread pool that fans independent
+// simulation jobs out across workers while keeping campaign results
+// bit-identical at any thread count.
+//
+// Determinism contract:
+//   * every job in a batch gets a `job_context` whose `stream_seed` is a pure
+//     function of (batch seed, job index) — never of scheduling order;
+//   * batch results are returned in submission-index order, so reductions see
+//     the same sequence whether one worker or sixteen ran the jobs;
+//   * jobs share no mutable state — each builds its own SoC, accumulates into
+//     its own result struct, and the merge happens after the join.
+//
+// A job that throws does not poison the pool: the exception is captured in
+// the job's future and rethrown to the caller at join time; workers keep
+// draining the queue.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace meek::sim {
+
+// Deterministic per-job context. `stream_seed` seeds the job's private rng
+// stream; two jobs in a batch never share a stream.
+struct job_context {
+    std::size_t index = 0;  // submission position within the batch
+    u64 stream_seed = 0;    // derive_stream_seed(batch seed, index)
+};
+
+// splitmix64 mix of (base_seed, stream_index): statistically independent
+// streams for adjacent indices, stable across platforms and thread counts.
+u64 derive_stream_seed(u64 base_seed, u64 stream_index);
+
+// Worker-count resolution: `requested` if nonzero, else the MEEK_THREADS
+// environment variable if set and positive, else hardware_concurrency
+// (floored at 1).
+u32 resolve_thread_count(u32 requested = 0);
+
+class executor {
+public:
+    // `num_threads == 0` resolves via MEEK_THREADS / hardware_concurrency.
+    explicit executor(u32 num_threads = 0);
+    ~executor();
+
+    executor(const executor&) = delete;
+    executor& operator=(const executor&) = delete;
+
+    u32 num_threads() const { return static_cast<u32>(workers_.size()); }
+
+    // Submit one job; the future holds the result or the job's exception.
+    template <class Fn>
+    auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>&>> {
+        using result_t = std::invoke_result_t<std::decay_t<Fn>&>;
+        auto task = std::make_shared<std::packaged_task<result_t()>>(
+            std::forward<Fn>(fn));
+        std::future<result_t> fut = task->get_future();
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+    // Run `count` indexed jobs (fn: const job_context& -> R) and return the
+    // results ordered by index. Every job in the batch is drained before this
+    // returns — including when one throws — so by-reference captures of
+    // caller locals can never outlive the call; the lowest-index exception is
+    // rethrown after the drain.
+    template <class Fn>
+    auto run_indexed(std::size_t count, u64 base_seed, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn&, const job_context&>> {
+        using result_t = std::invoke_result_t<Fn&, const job_context&>;
+        std::vector<std::future<result_t>> futures;
+        futures.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const job_context ctx{i, derive_stream_seed(base_seed, i)};
+            futures.push_back(submit([fn, ctx] { return fn(ctx); }));
+        }
+        std::vector<result_t> results;
+        results.reserve(count);
+        std::exception_ptr first_error;
+        for (auto& f : futures) {
+            try {
+                results.push_back(f.get());
+            } catch (...) {
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+        if (first_error) std::rethrow_exception(first_error);
+        return results;
+    }
+
+    // Map fn (const Item&, const job_context& -> R) over `items`, preserving
+    // item order in the result vector.
+    template <class Item, class Fn>
+    auto map(const std::vector<Item>& items, u64 base_seed, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn&, const Item&, const job_context&>> {
+        return run_indexed(items.size(), base_seed, [&items, fn](const job_context& ctx) {
+            return fn(items[ctx.index], ctx);
+        });
+    }
+
+private:
+    void enqueue(std::function<void()> task);
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+}  // namespace meek::sim

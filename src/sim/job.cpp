@@ -1,0 +1,83 @@
+#include "sim/job.h"
+
+#include "area/area_model.h"
+#include "baselines/nzdc.h"
+#include "bigcore/ooo_core.h"
+#include "mem/functional_memory.h"
+#include "workloads/generator.h"
+
+namespace meek::sim {
+namespace {
+
+run_outcome run_big_core(const big_core_config& cfg, const program& prog) {
+    functional_memory memory;
+    ooo_core core(cfg, memory);
+    core.load_program(prog);
+    const run_result r = core.run(run_limits{}, nullptr);
+    run_outcome out;
+    out.cycles = r.cycles;
+    out.instructions = r.instructions;
+    out.ipc = core.stats().ipc();
+    return out;
+}
+
+run_outcome run_meek(const soc_config& cfg, const program& prog) {
+    meek_soc soc(cfg);
+    soc.load_program(prog);
+    const meek_run_result r = soc.run();
+    run_outcome out;
+    out.cycles = r.big.cycles;
+    out.instructions = r.big.instructions;
+    out.ipc = soc.big_core().stats().ipc();
+    out.verified_ok = r.verified_ok;
+    out.stats = r.soc;
+    for (u32 i = 0; i < cfg.num_little_cores; ++i) {
+        const little_core_stats& s = soc.little(i).stats();
+        out.replayed_instructions += s.replayed_instructions;
+        const cycle_t waits = s.stall_lsl_empty + s.stall_watermark + s.stall_srcp;
+        out.checker_compute_cycles += s.busy_cycles > waits ? s.busy_cycles - waits : 0;
+    }
+    return out;
+}
+
+}  // namespace
+
+run_outcome execute(const run_spec& spec) {
+    const generated_workload wl =
+        generate_workload(spec.workload, spec.instructions, spec.workload_seed);
+    const soc_config cfg = spec.soc_override ? *spec.soc_override : spec.sc.soc();
+
+    run_outcome out;
+    switch (spec.sc.system) {
+        case system_kind::vanilla:
+            out = run_big_core(cfg.big, wl.prog);
+            break;
+        case system_kind::meek:
+            out = run_meek(cfg, wl.prog);
+            break;
+        case system_kind::ea_lockstep: {
+            const area_model areas;
+            out = run_big_core(areas.ea_lockstep_config(cfg), wl.prog);
+            break;
+        }
+        case system_kind::nzdc: {
+            if (!spec.workload.nzdc_supported) {
+                out.skipped = true;
+                break;
+            }
+            const nzdc_program transformed = transform_nzdc(wl.prog);
+            out = run_big_core(cfg.big, transformed.prog);
+            break;
+        }
+    }
+    out.scenario = spec.sc.name;
+    out.workload = spec.workload.name;
+    return out;
+}
+
+std::vector<run_outcome> execute_all(executor& ex, const std::vector<run_spec>& specs) {
+    return ex.map(specs, /*base_seed=*/0,
+                  [](const run_spec& spec, const job_context&) { return execute(spec); });
+}
+
+}  // namespace meek::sim

@@ -1,0 +1,56 @@
+// The sim_job abstraction: bind a scenario to a workload, build the system,
+// run it, and reduce the run to a plain result struct. Jobs are pure
+// functions of their spec — no shared mutable state — which is what lets the
+// executor fan them out across threads with deterministic results.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "meek/soc.h"
+#include "sim/executor.h"
+#include "sim/scenario.h"
+#include "workloads/profile.h"
+
+namespace meek::sim {
+
+// One simulation to run: scenario x workload x dynamic length x seed.
+struct run_spec {
+    scenario sc;
+    workload_profile workload;
+    u64 instructions = 200'000;
+    u64 workload_seed = 0xC0FFEE;
+
+    // Off-registry points: when set, this exact config is simulated instead
+    // of sc.soc() (the scenario still provides the system kind and the
+    // result's name). Lets callers sweep knobs the registry doesn't encode
+    // without them being silently replaced by Table-II defaults.
+    std::optional<soc_config> soc_override;
+};
+
+// The reduced, plain-data result a job returns across the thread boundary.
+struct run_outcome {
+    std::string scenario;
+    std::string workload;
+    cycle_t cycles = 0;
+    u64 instructions = 0;
+    double ipc = 0.0;
+
+    // MEEK-only reductions (zero for the other systems).
+    bool verified_ok = false;
+    soc_stats stats;
+    u64 replayed_instructions = 0;        // summed over the little cores
+    cycle_t checker_compute_cycles = 0;   // busy minus data-wait (Fig. 10)
+
+    bool skipped = false;  // nZDC on a workload its compiler cannot build
+};
+
+// Build SoC -> run -> reduce. Safe to call concurrently from executor workers.
+run_outcome execute(const run_spec& spec);
+
+// Fan a batch of specs out across `ex`'s workers; results come back in spec
+// order regardless of scheduling.
+std::vector<run_outcome> execute_all(executor& ex, const std::vector<run_spec>& specs);
+
+}  // namespace meek::sim

@@ -1,0 +1,194 @@
+// Sim-layer tests: executor determinism (thread-count invariance of fault
+// campaigns), scenario-registry round-trips, and pool robustness under
+// throwing jobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+#include "fault/campaign.h"
+#include "report/runner.h"
+#include "sim/executor.h"
+#include "sim/job.h"
+#include "sim/scenario.h"
+#include "workloads/generator.h"
+
+namespace meek {
+namespace {
+
+TEST(executor, results_come_back_in_submission_order) {
+    sim::executor ex(4);
+    const auto results = ex.run_indexed(
+        32, 99, [](const sim::job_context& ctx) { return ctx.index; });
+    ASSERT_EQ(results.size(), 32u);
+    for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i);
+}
+
+TEST(executor, stream_seeds_are_pure_functions_of_batch_seed_and_index) {
+    sim::executor ex(3);
+    const auto seeds = ex.run_indexed(
+        16, 1234, [](const sim::job_context& ctx) { return ctx.stream_seed; });
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        EXPECT_EQ(seeds[i], sim::derive_stream_seed(1234, i));
+        for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+            EXPECT_NE(seeds[i], seeds[j]) << "streams must not collide";
+        }
+    }
+}
+
+TEST(executor, throwing_job_neither_deadlocks_nor_poisons_the_pool) {
+    sim::executor ex(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(ex.run_indexed(8, 0,
+                                [&ran](const sim::job_context& ctx) -> int {
+                                    ++ran;
+                                    if (ctx.index == 3) {
+                                        throw std::runtime_error("boom");
+                                    }
+                                    return static_cast<int>(ctx.index);
+                                }),
+                 std::runtime_error);
+    // The whole batch drained before the rethrow: no job may still be
+    // running against the caller's (now unwound) captures.
+    EXPECT_EQ(ran.load(), 8);
+
+    // The pool keeps serving jobs after the failed batch.
+    const auto after = ex.run_indexed(
+        4, 0, [](const sim::job_context& ctx) { return ctx.index * 2; });
+    ASSERT_EQ(after.size(), 4u);
+    EXPECT_EQ(after[3], 6u);
+}
+
+TEST(executor, thread_count_resolution_prefers_explicit_request) {
+    EXPECT_EQ(sim::resolve_thread_count(3), 3u);
+    EXPECT_GE(sim::resolve_thread_count(0), 1u);
+    sim::executor ex(2);
+    EXPECT_EQ(ex.num_threads(), 2u);
+}
+
+TEST(scenario_registry, round_trips_every_named_config) {
+    for (const sim::scenario& s : sim::all_scenarios()) {
+        const sim::scenario* found = sim::find_scenario(s.name);
+        ASSERT_NE(found, nullptr) << s.name;
+        EXPECT_EQ(found->system, s.system) << s.name;
+        EXPECT_EQ(found->little_cores, s.little_cores) << s.name;
+        EXPECT_EQ(found->fabric, s.fabric) << s.name;
+        EXPECT_EQ(found->tuning, s.tuning) << s.name;
+    }
+    EXPECT_EQ(sim::find_scenario("no-such-system"), nullptr);
+}
+
+TEST(scenario_registry, constructor_names_match_registry_scheme) {
+    EXPECT_EQ(sim::vanilla_scenario().name, "vanilla");
+    EXPECT_EQ(sim::ea_lockstep_scenario().name, "ea-lockstep");
+    EXPECT_EQ(sim::nzdc_scenario().name, "nzdc");
+    EXPECT_EQ(sim::meek_scenario(6, fabric_kind::axi_interconnect,
+                                 little_core_tuning::default_rocket)
+                  .name,
+              "meek/axi/def/6");
+    EXPECT_EQ(sim::meek_scenario(4).name, "meek/f2/opt/4");
+}
+
+TEST(scenario_registry, meek_knobs_materialize_into_the_soc_config) {
+    const sim::scenario sc = sim::meek_scenario(
+        6, fabric_kind::axi_interconnect, little_core_tuning::default_rocket);
+    const soc_config cfg = sc.soc();
+    EXPECT_EQ(cfg.num_little_cores, 6u);
+    EXPECT_EQ(cfg.fabric.kind, fabric_kind::axi_interconnect);
+    EXPECT_EQ(cfg.little.tuning, little_core_tuning::default_rocket);
+}
+
+TEST(campaign_parallel, records_are_identical_at_any_thread_count) {
+    fault_campaign_config fc;
+    fc.num_faults = 30;
+    fc.faults_per_shard = 10;  // 3 shards
+    fc.seed = 21;
+    const u64 needed = u64{fc.num_faults} * (fc.gap_instructions + 2'000) + 50'000;
+    const generated_workload wl =
+        generate_workload(*find_profile("hmmer"), needed, 13);
+    const soc_config cfg = sim::meek_scenario(4).soc();
+
+    sim::executor one(1);
+    sim::executor four(4);
+    const campaign_result a = run_fault_campaign(cfg, wl.prog, fc, one);
+    const campaign_result b = run_fault_campaign(cfg, wl.prog, fc, four);
+
+    EXPECT_GT(a.detected, 0u);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.masked, b.masked);
+    ASSERT_EQ(a.faults.size(), b.faults.size());
+    for (std::size_t i = 0; i < a.faults.size(); ++i) {
+        EXPECT_EQ(a.faults[i].inject_seq, b.faults[i].inject_seq) << i;
+        EXPECT_EQ(a.faults[i].inject_big_cycle, b.faults[i].inject_big_cycle) << i;
+        EXPECT_EQ(a.faults[i].detect_big_cycle, b.faults[i].detect_big_cycle) << i;
+        EXPECT_EQ(a.faults[i].detected, b.faults[i].detected) << i;
+        EXPECT_EQ(a.faults[i].kind, b.faults[i].kind) << i;
+        EXPECT_EQ(a.faults[i].corrupted_kind, b.faults[i].corrupted_kind) << i;
+    }
+    EXPECT_EQ(a.latency_ns.count(), b.latency_ns.count());
+    EXPECT_DOUBLE_EQ(a.latency_ns.mean(), b.latency_ns.mean());
+    EXPECT_DOUBLE_EQ(a.latency_ns.max(), b.latency_ns.max());
+}
+
+TEST(sim_jobs, suite_rows_are_thread_count_invariant) {
+    const std::span<const workload_profile> all = parsec_profiles();
+    const std::span<const workload_profile> two = all.subspan(0, 2);
+    figure6_options opts;
+    opts.instructions = 20'000;
+
+    sim::executor one(1);
+    sim::executor four(4);
+    const auto rows_a = measure_suite(two, opts, one);
+    const auto rows_b = measure_suite(two, opts, four);
+    ASSERT_EQ(rows_a.size(), rows_b.size());
+    for (std::size_t i = 0; i < rows_a.size(); ++i) {
+        EXPECT_EQ(rows_a[i].workload, rows_b[i].workload);
+        EXPECT_DOUBLE_EQ(rows_a[i].meek, rows_b[i].meek);
+        EXPECT_DOUBLE_EQ(rows_a[i].lockstep, rows_b[i].lockstep);
+        EXPECT_DOUBLE_EQ(rows_a[i].nzdc, rows_b[i].nzdc);
+        EXPECT_EQ(rows_a[i].baseline_cycles, rows_b[i].baseline_cycles);
+    }
+}
+
+TEST(sim_jobs, execute_reduces_every_system_kind) {
+    const workload_profile& p = *find_profile("hmmer");
+    for (const sim::scenario& sc :
+         {sim::vanilla_scenario(), sim::meek_scenario(2),
+          sim::ea_lockstep_scenario(), sim::nzdc_scenario()}) {
+        const sim::run_outcome out = sim::execute({sc, p, 15'000, 1});
+        EXPECT_EQ(out.scenario, sc.name);
+        EXPECT_EQ(out.workload, p.name);
+        EXPECT_GT(out.cycles, 0u) << sc.name;
+        EXPECT_GT(out.instructions, 0u) << sc.name;
+    }
+}
+
+TEST(sim_jobs, soc_override_is_simulated_instead_of_registry_defaults) {
+    const workload_profile& p = *find_profile("swaptions");
+    const sim::scenario sc = sim::meek_scenario(4);
+
+    sim::run_spec plain{sc, p, 15'000, 1};
+    sim::run_spec overridden{sc, p, 15'000, 1};
+    soc_config custom = sc.soc();
+    custom.num_little_cores = 2;  // off-registry point under a registry name
+    overridden.soc_override = custom;
+
+    const sim::run_outcome a = sim::execute(plain);
+    const sim::run_outcome b = sim::execute(overridden);
+    EXPECT_GT(b.cycles, a.cycles)
+        << "2 checker cores must be slower than 4 on a divider-heavy workload";
+}
+
+TEST(sim_jobs, nzdc_marks_unsupported_workloads_as_skipped) {
+    const workload_profile* gcc = find_profile("gcc");
+    ASSERT_NE(gcc, nullptr);
+    ASSERT_FALSE(gcc->nzdc_supported);
+    const sim::run_outcome out =
+        sim::execute({sim::nzdc_scenario(), *gcc, 10'000, 1});
+    EXPECT_TRUE(out.skipped);
+    EXPECT_EQ(out.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace meek

@@ -2,6 +2,7 @@
 #include "report/runner.h"
 #include "fault/campaign.h"
 #include "area/area_model.h"
+#include "workloads/generator.h"
 
 using namespace meek;
 
@@ -43,11 +44,12 @@ int main() {
                 (unsigned long long)m.meek.soc.stall_forwarding);
         }
     }
-    // detection latency quick
+    // detection latency quick (sharded through the executor)
     {
+        sim::executor ex;
         fault_campaign_config fc; fc.num_faults = 60; fc.gap_instructions = 6000;
         const auto wl = generate_workload(*find_profile("blackscholes"), 500000, 7);
-        auto res = run_fault_campaign(soc_config{}, wl.prog, fc);
+        auto res = run_fault_campaign(sim::meek_scenario(4).soc(), wl.prog, fc, ex);
         std::printf("faults: det %llu masked %llu mean %.0f ns max %.0f ns\n",
             (unsigned long long)res.detected, (unsigned long long)res.masked,
             res.latency_ns.mean(), res.latency_ns.max());
@@ -55,7 +57,7 @@ int main() {
             std::printf("  %s kind=%d seq=%llu lat=%.0fns err=%d\n",
                         f.detected ? "det   " : "masked", (int)f.corrupted_kind,
                         (unsigned long long)f.inject_seq,
-                        f.latency_cycles() * 0.3125, (int)f.kind);
+                        f.latency_cycles().value_or(0.0) * 0.3125, (int)f.kind);
         }
     }
     return 0;

@@ -1,5 +1,8 @@
 #include <cstdio>
+#include "bigcore/ooo_core.h"
+#include "mem/functional_memory.h"
 #include "report/runner.h"
+#include "workloads/generator.h"
 using namespace meek;
 int main() {
     for (const auto& p : parsec_profiles()) {
