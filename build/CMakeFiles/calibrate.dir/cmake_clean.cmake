@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate.dir/tools/calibrate.cpp.o"
+  "CMakeFiles/calibrate.dir/tools/calibrate.cpp.o.d"
+  "calibrate"
+  "calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space.dir/examples/design_space.cpp.o"
+  "CMakeFiles/design_space.dir/examples/design_space.cpp.o.d"
+  "design_space"
+  "design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

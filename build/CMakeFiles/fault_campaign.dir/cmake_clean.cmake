@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_campaign.dir/examples/fault_campaign.cpp.o"
+  "CMakeFiles/fault_campaign.dir/examples/fault_campaign.cpp.o.d"
+  "fault_campaign"
+  "fault_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

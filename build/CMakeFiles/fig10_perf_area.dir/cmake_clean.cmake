@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_perf_area.dir/bench/fig10_perf_area.cpp.o"
+  "CMakeFiles/fig10_perf_area.dir/bench/fig10_perf_area.cpp.o.d"
+  "fig10_perf_area"
+  "fig10_perf_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_perf_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_slowdown.dir/bench/fig6_slowdown.cpp.o"
+  "CMakeFiles/fig6_slowdown.dir/bench/fig6_slowdown.cpp.o.d"
+  "fig6_slowdown"
+  "fig6_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

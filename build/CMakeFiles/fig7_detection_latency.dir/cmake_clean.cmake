@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_detection_latency.dir/bench/fig7_detection_latency.cpp.o"
+  "CMakeFiles/fig7_detection_latency.dir/bench/fig7_detection_latency.cpp.o.d"
+  "fig7_detection_latency"
+  "fig7_detection_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_detection_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_detection_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scalability.dir/bench/fig8_scalability.cpp.o"
+  "CMakeFiles/fig8_scalability.dir/bench/fig8_scalability.cpp.o.d"
+  "fig8_scalability"
+  "fig8_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

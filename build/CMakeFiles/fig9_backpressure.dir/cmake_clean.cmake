@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_backpressure.dir/bench/fig9_backpressure.cpp.o"
+  "CMakeFiles/fig9_backpressure.dir/bench/fig9_backpressure.cpp.o.d"
+  "fig9_backpressure"
+  "fig9_backpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

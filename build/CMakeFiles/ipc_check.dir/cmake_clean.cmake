@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_check.dir/tools/ipc_check.cpp.o"
+  "CMakeFiles/ipc_check.dir/tools/ipc_check.cpp.o.d"
+  "ipc_check"
+  "ipc_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ipc_check.
+# This may be replaced when dependencies are built.

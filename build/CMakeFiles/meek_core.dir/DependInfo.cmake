@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/area/area_model.cpp" "CMakeFiles/meek_core.dir/src/area/area_model.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/area/area_model.cpp.o.d"
+  "/root/repo/src/baselines/nzdc.cpp" "CMakeFiles/meek_core.dir/src/baselines/nzdc.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/baselines/nzdc.cpp.o.d"
+  "/root/repo/src/bigcore/ooo_core.cpp" "CMakeFiles/meek_core.dir/src/bigcore/ooo_core.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/bigcore/ooo_core.cpp.o.d"
+  "/root/repo/src/bpred/tage.cpp" "CMakeFiles/meek_core.dir/src/bpred/tage.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/bpred/tage.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "CMakeFiles/meek_core.dir/src/common/config.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/common/config.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/meek_core.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/meek_core.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/fabric/fabric.cpp" "CMakeFiles/meek_core.dir/src/fabric/fabric.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/fabric/fabric.cpp.o.d"
+  "/root/repo/src/fault/campaign.cpp" "CMakeFiles/meek_core.dir/src/fault/campaign.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/fault/campaign.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "CMakeFiles/meek_core.dir/src/isa/assembler.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/exec.cpp" "CMakeFiles/meek_core.dir/src/isa/exec.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/isa/exec.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "CMakeFiles/meek_core.dir/src/isa/instruction.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/isa/instruction.cpp.o.d"
+  "/root/repo/src/isa/opcodes.cpp" "CMakeFiles/meek_core.dir/src/isa/opcodes.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/isa/opcodes.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "CMakeFiles/meek_core.dir/src/isa/program.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/isa/program.cpp.o.d"
+  "/root/repo/src/littlecore/little_core.cpp" "CMakeFiles/meek_core.dir/src/littlecore/little_core.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/littlecore/little_core.cpp.o.d"
+  "/root/repo/src/meek/soc.cpp" "CMakeFiles/meek_core.dir/src/meek/soc.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/meek/soc.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "CMakeFiles/meek_core.dir/src/mem/cache.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "CMakeFiles/meek_core.dir/src/mem/dram.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/functional_memory.cpp" "CMakeFiles/meek_core.dir/src/mem/functional_memory.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/mem/functional_memory.cpp.o.d"
+  "/root/repo/src/mem/hierarchy.cpp" "CMakeFiles/meek_core.dir/src/mem/hierarchy.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/mem/hierarchy.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "CMakeFiles/meek_core.dir/src/os/kernel.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/os/kernel.cpp.o.d"
+  "/root/repo/src/os/pagefault.cpp" "CMakeFiles/meek_core.dir/src/os/pagefault.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/os/pagefault.cpp.o.d"
+  "/root/repo/src/report/runner.cpp" "CMakeFiles/meek_core.dir/src/report/runner.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/report/runner.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "CMakeFiles/meek_core.dir/src/report/table.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/report/table.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "CMakeFiles/meek_core.dir/src/sim/executor.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/sim/executor.cpp.o.d"
+  "/root/repo/src/sim/job.cpp" "CMakeFiles/meek_core.dir/src/sim/job.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/sim/job.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "CMakeFiles/meek_core.dir/src/sim/scenario.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/sim/scenario.cpp.o.d"
+  "/root/repo/src/workloads/generator.cpp" "CMakeFiles/meek_core.dir/src/workloads/generator.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/workloads/generator.cpp.o.d"
+  "/root/repo/src/workloads/profile.cpp" "CMakeFiles/meek_core.dir/src/workloads/profile.cpp.o" "gcc" "CMakeFiles/meek_core.dir/src/workloads/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

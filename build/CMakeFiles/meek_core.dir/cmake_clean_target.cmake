@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmeek_core.a"
+)

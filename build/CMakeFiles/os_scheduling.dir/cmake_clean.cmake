@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_scheduling.dir/examples/os_scheduling.cpp.o"
+  "CMakeFiles/os_scheduling.dir/examples/os_scheduling.cpp.o.d"
+  "os_scheduling"
+  "os_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

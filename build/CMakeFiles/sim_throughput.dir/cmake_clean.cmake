@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_throughput.dir/bench/sim_throughput.cpp.o"
+  "CMakeFiles/sim_throughput.dir/bench/sim_throughput.cpp.o.d"
+  "sim_throughput"
+  "sim_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_isa.dir/bench/tab1_isa.cpp.o"
+  "CMakeFiles/tab1_isa.dir/bench/tab1_isa.cpp.o.d"
+  "tab1_isa"
+  "tab1_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

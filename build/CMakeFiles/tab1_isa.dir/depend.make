@@ -1,0 +1,2 @@
+# Empty dependencies file for tab1_isa.
+# This may be replaced when dependencies are built.

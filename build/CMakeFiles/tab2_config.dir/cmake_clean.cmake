@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_config.dir/bench/tab2_config.cpp.o"
+  "CMakeFiles/tab2_config.dir/bench/tab2_config.cpp.o.d"
+  "tab2_config"
+  "tab2_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

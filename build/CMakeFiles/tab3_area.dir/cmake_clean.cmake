@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_area.dir/bench/tab3_area.cpp.o"
+  "CMakeFiles/tab3_area.dir/bench/tab3_area.cpp.o.d"
+  "tab3_area"
+  "tab3_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

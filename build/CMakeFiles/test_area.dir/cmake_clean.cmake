@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_area.dir/tests/test_area.cpp.o"
+  "CMakeFiles/test_area.dir/tests/test_area.cpp.o.d"
+  "test_area"
+  "test_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigcore.dir/tests/test_bigcore.cpp.o"
+  "CMakeFiles/test_bigcore.dir/tests/test_bigcore.cpp.o.d"
+  "test_bigcore"
+  "test_bigcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bpred.dir/tests/test_bpred.cpp.o"
+  "CMakeFiles/test_bpred.dir/tests/test_bpred.cpp.o.d"
+  "test_bpred"
+  "test_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deu.dir/tests/test_deu.cpp.o"
+  "CMakeFiles/test_deu.dir/tests/test_deu.cpp.o.d"
+  "test_deu"
+  "test_deu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/tests/test_isa.cpp.o"
+  "CMakeFiles/test_isa.dir/tests/test_isa.cpp.o.d"
+  "test_isa"
+  "test_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

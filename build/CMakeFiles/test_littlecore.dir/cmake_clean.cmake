@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_littlecore.dir/tests/test_littlecore.cpp.o"
+  "CMakeFiles/test_littlecore.dir/tests/test_littlecore.cpp.o.d"
+  "test_littlecore"
+  "test_littlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_littlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/tests/test_mem.cpp.o"
+  "CMakeFiles/test_mem.dir/tests/test_mem.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/tests/test_os.cpp.o"
+  "CMakeFiles/test_os.dir/tests/test_os.cpp.o.d"
+  "test_os"
+  "test_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

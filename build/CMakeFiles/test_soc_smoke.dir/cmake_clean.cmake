@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc_smoke.dir/tests/test_soc_smoke.cpp.o"
+  "CMakeFiles/test_soc_smoke.dir/tests/test_soc_smoke.cpp.o.d"
+  "test_soc_smoke"
+  "test_soc_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
