@@ -1,6 +1,10 @@
 #include "fault/campaign.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 
 #include "common/bits.h"
 
@@ -112,11 +116,82 @@ campaign_result run_campaign_once(const soc_config& soc_cfg, const program& prog
     return result;
 }
 
+std::string shard_checkpoint_path(const std::string& dir, std::size_t shard_index) {
+    return dir + "/shard_" + std::to_string(shard_index) + ".ckpt";
+}
+
+// Run one shard, satisfying it from a checkpoint when the directory holds a
+// valid one for this exact shard config and system context.
+campaign_result run_or_resume_shard(const soc_config& soc_cfg, const program& prog,
+                                    const fault_campaign_config& shard_cfg,
+                                    std::size_t shard_index, u64 context,
+                                    const run_limits& limits, u64 warmup,
+                                    const std::string& path) {
+    const bool checkpointing = !path.empty();
+    if (checkpointing) {
+        if (std::optional<campaign_result> loaded = load_shard_checkpoint(
+                path, shard_cfg, shard_index, context, soc_cfg.big.freq_mhz)) {
+            loaded->resumed_shards = 1;
+            return *std::move(loaded);
+        }
+    }
+    campaign_result result = run_campaign_once(soc_cfg, prog, shard_cfg, limits, warmup);
+    if (checkpointing) {
+        save_shard_checkpoint(path, shard_cfg, shard_index, context, result);
+    }
+    return result;
+}
+
 }  // namespace
+
+u64 campaign_context_fingerprint(const soc_config& soc_cfg, const program& prog) {
+    // FNV-1a over the program image and the soc knobs that shape a campaign:
+    // any difference in the code under test, its data, or the checked system
+    // must invalidate a checkpoint.
+    u64 h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](u64 v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(prog.text_base);
+    mix(prog.entry);
+    mix(prog.text.size());
+    for (const instr& ins : prog.text) {
+        mix(static_cast<u64>(ins.op));
+        mix((u64{ins.rd} << 24) | (u64{ins.rs1} << 16) | (u64{ins.rs2} << 8) |
+            u64{ins.rs3});
+        mix(static_cast<u64>(static_cast<i64>(ins.imm)));
+    }
+    for (const data_blob& blob : prog.data) {
+        mix(blob.base);
+        mix(blob.bytes.size());
+        for (const u8 b : blob.bytes) {
+            h ^= b;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    mix(soc_cfg.big.freq_mhz);
+    mix(soc_cfg.num_little_cores);
+    mix(static_cast<u64>(soc_cfg.fabric.kind));
+    mix(static_cast<u64>(soc_cfg.little.tuning));
+    mix(soc_cfg.little.freq_mhz);
+    return h;
+}
 
 campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& prog,
                                    const fault_campaign_config& cfg) {
-    return run_campaign_once(soc_cfg, prog, cfg, run_limits{}, /*warmup=*/0);
+    if (cfg.checkpoint_dir.empty()) {
+        return run_campaign_once(soc_cfg, prog, cfg, run_limits{}, /*warmup=*/0);
+    }
+    // The serial campaign is one monolithic "shard" with its own file name:
+    // it must never satisfy (or be satisfied by) an executor shard, whose
+    // seed derivation and instruction budget differ.
+    return run_or_resume_shard(soc_cfg, prog, cfg, /*shard_index=*/0,
+                               campaign_context_fingerprint(soc_cfg, prog),
+                               run_limits{}, /*warmup=*/0,
+                               cfg.checkpoint_dir + "/serial.ckpt");
 }
 
 campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& prog,
@@ -124,13 +199,23 @@ campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& pro
                                    sim::executor& ex) {
     const u32 per_shard = std::max<u32>(1, cfg.faults_per_shard);
     const std::size_t shards = (cfg.num_faults + per_shard - 1) / per_shard;
+    const u64 context = cfg.checkpoint_dir.empty()
+                            ? 0
+                            : campaign_context_fingerprint(soc_cfg, prog);
+    auto ckpt_path = [&cfg](std::size_t shard_index) {
+        return cfg.checkpoint_dir.empty()
+                   ? std::string()
+                   : shard_checkpoint_path(cfg.checkpoint_dir, shard_index);
+    };
+
     if (shards <= 1) {
         // A single shard still goes through the derived stream so the result
         // is independent of whether the executor path was taken.
         fault_campaign_config shard_cfg = cfg;
         shard_cfg.seed = sim::derive_stream_seed(cfg.seed, 0);
-        return run_campaign_once(soc_cfg, prog, shard_cfg, shard_limits(shard_cfg),
-                                 cfg.shard_warmup_instructions);
+        return run_or_resume_shard(soc_cfg, prog, shard_cfg, /*shard_index=*/0,
+                                   context, shard_limits(shard_cfg),
+                                   cfg.shard_warmup_instructions, ckpt_path(0));
     }
 
     std::vector<campaign_result> partials = ex.run_indexed(
@@ -139,9 +224,10 @@ campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& pro
             shard_cfg.seed = ctx.stream_seed;
             const u32 first = static_cast<u32>(ctx.index) * per_shard;
             shard_cfg.num_faults = std::min(per_shard, cfg.num_faults - first);
-            return run_campaign_once(soc_cfg, prog, shard_cfg,
-                                     shard_limits(shard_cfg),
-                                     cfg.shard_warmup_instructions);
+            return run_or_resume_shard(soc_cfg, prog, shard_cfg, ctx.index,
+                                       context, shard_limits(shard_cfg),
+                                       cfg.shard_warmup_instructions,
+                                       ckpt_path(ctx.index));
         });
 
     campaign_result merged;
@@ -150,8 +236,128 @@ campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& pro
         merged.detected += p.detected;
         merged.masked += p.masked;
         merged.latency_ns.merge(p.latency_ns);
+        merged.resumed_shards += p.resumed_shards;
     }
     return merged;
+}
+
+bool save_shard_checkpoint(const std::string& path,
+                           const fault_campaign_config& shard_cfg,
+                           std::size_t shard_index, u64 context_fingerprint,
+                           const campaign_result& result) {
+    std::error_code ec;
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+        std::filesystem::create_directories(target.parent_path(), ec);
+        if (ec) return false;
+    }
+
+    // Write to a shard-private temp file, then rename: a reader never sees a
+    // torn checkpoint, and a crash mid-write leaves only a stale .tmp behind.
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) return false;
+
+    u64 p_bits;
+    std::memcpy(&p_bits, &shard_cfg.inject_probability, sizeof p_bits);
+    bool ok =
+        std::fprintf(
+            f,
+            "meek-campaign-ckpt v1\n"
+            "shard %zu seed %" PRIu64 " faults %u gap %" PRIu64 " horizon %" PRIu64
+            " target %d inject_p %" PRIx64 " core_side %d warmup %" PRIu64
+            " context %" PRIx64 "\n"
+            "records %zu\n",
+            shard_index, shard_cfg.seed, shard_cfg.num_faults,
+            shard_cfg.gap_instructions, shard_cfg.detection_horizon,
+            static_cast<int>(shard_cfg.target), p_bits,
+            shard_cfg.core_side_fault ? 1 : 0, shard_cfg.shard_warmup_instructions,
+            context_fingerprint, result.faults.size()) > 0;
+    for (const fault_record& r : result.faults) {
+        ok = ok && std::fprintf(f, "%" PRIu64 " %" PRIu64 " %" PRIu64 " %d %d %d\n",
+                                r.inject_seq, static_cast<u64>(r.inject_big_cycle),
+                                static_cast<u64>(r.detect_big_cycle),
+                                r.detected ? 1 : 0, static_cast<int>(r.kind),
+                                static_cast<int>(r.corrupted_kind)) > 0;
+    }
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    std::filesystem::rename(tmp, target, ec);
+    return !ec;
+}
+
+std::optional<campaign_result> load_shard_checkpoint(
+    const std::string& path, const fault_campaign_config& shard_cfg,
+    std::size_t shard_index, u64 context_fingerprint, u64 freq_mhz) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return std::nullopt;
+
+    std::optional<campaign_result> out;
+    char magic[32] = {};
+    std::size_t idx = 0;
+    u64 seed = 0, gap = 0, horizon = 0, warmup = 0, p_bits = 0, context = 0;
+    unsigned faults = 0;
+    int target = -1, core_side = -1;
+    std::size_t num_records = 0;
+
+    u64 expect_p_bits;
+    std::memcpy(&expect_p_bits, &shard_cfg.inject_probability, sizeof expect_p_bits);
+
+    const bool header_ok =
+        std::fscanf(f, "meek-campaign-ckpt %31s", magic) == 1 &&
+        std::strcmp(magic, "v1") == 0 &&
+        std::fscanf(f,
+                    " shard %zu seed %" SCNu64 " faults %u gap %" SCNu64
+                    " horizon %" SCNu64 " target %d inject_p %" SCNx64
+                    " core_side %d warmup %" SCNu64 " context %" SCNx64,
+                    &idx, &seed, &faults, &gap, &horizon, &target, &p_bits,
+                    &core_side, &warmup, &context) == 10 &&
+        std::fscanf(f, " records %zu", &num_records) == 1;
+
+    const bool config_ok =
+        header_ok && idx == shard_index && seed == shard_cfg.seed &&
+        faults == shard_cfg.num_faults && gap == shard_cfg.gap_instructions &&
+        horizon == shard_cfg.detection_horizon &&
+        target == static_cast<int>(shard_cfg.target) && p_bits == expect_p_bits &&
+        core_side == (shard_cfg.core_side_fault ? 1 : 0) &&
+        warmup == shard_cfg.shard_warmup_instructions &&
+        context == context_fingerprint;
+
+    if (config_ok) {
+        campaign_result result;
+        const clock_domain big_clock(freq_mhz);
+        bool records_ok = true;
+        for (std::size_t i = 0; i < num_records && records_ok; ++i) {
+            fault_record r;
+            u64 inject_cycle = 0, detect_cycle = 0;
+            int detected = 0, kind = 0, corrupted = 0;
+            records_ok = std::fscanf(f, " %" SCNu64 " %" SCNu64 " %" SCNu64 " %d %d %d",
+                                     &r.inject_seq, &inject_cycle, &detect_cycle,
+                                     &detected, &kind, &corrupted) == 6;
+            if (!records_ok) break;
+            r.inject_big_cycle = inject_cycle;
+            r.detect_big_cycle = detect_cycle;
+            r.detected = detected != 0;
+            r.kind = static_cast<check_error_kind>(kind);
+            r.corrupted_kind = static_cast<packet_kind>(corrupted);
+            // Rebuild the aggregates in record order — the same sequence of
+            // running_stat::add calls the simulating shard made.
+            if (r.detected) {
+                ++result.detected;
+                result.latency_ns.add(big_clock.cycles_to_ns(r.detect_big_cycle -
+                                                             r.inject_big_cycle));
+            } else {
+                ++result.masked;
+            }
+            result.faults.push_back(r);
+        }
+        if (records_ok) out = std::move(result);
+    }
+    std::fclose(f);
+    return out;
 }
 
 histogram latency_histogram(const campaign_result& result, double max_ns,

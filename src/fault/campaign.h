@@ -11,6 +11,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -60,6 +61,18 @@ struct fault_campaign_config {
     // serial campaign only traverses once.
     u32 faults_per_shard = 50;
     u64 shard_warmup_instructions = 20'000;
+
+    // Resume/checkpoint: when nonempty, every completed shard's records are
+    // persisted to `<checkpoint_dir>/shard_<index>.ckpt` (the serial overload
+    // uses `serial.ckpt`), and a restarted campaign with the same config
+    // loads finished shards instead of re-simulating them — a killed campaign
+    // restarts at the first missing shard. Checkpoints carry a config header
+    // plus a fingerprint of the program and SoC under test; a file written
+    // under a different (seed, fault count, gap, horizon, target, ...) or a
+    // different workload/SoC is ignored and the shard is re-run, never
+    // trusted. Merged results are bit-identical with and without
+    // checkpointing.
+    std::string checkpoint_dir;
 };
 
 struct fault_record {
@@ -84,6 +97,7 @@ struct campaign_result {
     u64 detected = 0;
     u64 masked = 0;
     running_stat latency_ns;  // over detected faults
+    u64 resumed_shards = 0;   // shards satisfied from checkpoints, not simulation
 
     double detection_rate() const {
         const u64 total = detected + masked;
@@ -109,5 +123,26 @@ campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& pro
 // Convenience: latency histogram in ns over detected faults.
 histogram latency_histogram(const campaign_result& result, double max_ns = 3200.0,
                             std::size_t bins = 16);
+
+// Identity of the system a campaign ran on: a content hash over the program
+// image (text, entry, data blobs) and the campaign-relevant soc_config knobs.
+// Baked into every checkpoint header so a checkpoint from a different
+// workload or SoC can never satisfy a shard whose config otherwise matches.
+u64 campaign_context_fingerprint(const soc_config& soc_cfg, const program& prog);
+
+// Shard checkpoint serialization (plain text: a config header plus one fault
+// record per line). save writes atomically (temp file + rename) and creates
+// the directory on demand; returns false on I/O failure. load validates the
+// header against the shard's exact config and `context_fingerprint` and
+// returns nullopt on any mismatch, truncation, or parse error. `freq_mhz` is
+// the big-core clock the latency statistic is recomputed with — the loaded
+// result is bit-identical to the one the simulating shard produced.
+bool save_shard_checkpoint(const std::string& path,
+                           const fault_campaign_config& shard_cfg,
+                           std::size_t shard_index, u64 context_fingerprint,
+                           const campaign_result& result);
+std::optional<campaign_result> load_shard_checkpoint(
+    const std::string& path, const fault_campaign_config& shard_cfg,
+    std::size_t shard_index, u64 context_fingerprint, u64 freq_mhz);
 
 }  // namespace meek

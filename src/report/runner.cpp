@@ -1,17 +1,41 @@
 #include "report/runner.h"
 
+#include <algorithm>
+
 #include "bigcore/ooo_core.h"
 #include "mem/functional_memory.h"
+#include "serve/workload_cache.h"
 
 namespace meek {
 namespace {
 
+// Every suite driver routes workload generation through a per-call
+// content-addressed cache: the systems evaluated for one (profile,
+// instructions, seed) point share a single generated program instead of each
+// job rebuilding it. One entry per profile is enough; the floor keeps tiny
+// spans from thrashing.
+serve::workload_cache make_session_cache(std::size_t num_profiles) {
+    return serve::workload_cache(std::max<std::size_t>(8, num_profiles));
+}
+
+sim::run_spec make_spec(const sim::scenario& sc, const workload_profile& profile,
+                        u64 instructions, u64 seed, workload_source* workloads) {
+    sim::run_spec spec;
+    spec.sc = sc;
+    spec.workload = profile;
+    spec.instructions = instructions;
+    spec.workload_seed = seed;
+    spec.workloads = workloads;
+    return spec;
+}
+
 // The Fig. 6 job list for one workload, in fixed reduction order.
 std::vector<sim::run_spec> fig6_specs(const workload_profile& profile,
-                                      const figure6_options& opts) {
+                                      const figure6_options& opts,
+                                      workload_source* workloads) {
     std::vector<sim::run_spec> specs;
     auto add = [&](const sim::scenario& sc) {
-        specs.push_back({sc, profile, opts.instructions, opts.seed});
+        specs.push_back(make_spec(sc, profile, opts.instructions, opts.seed, workloads));
     };
     add(sim::vanilla_scenario());
     add(sim::meek_scenario(opts.little_cores));
@@ -81,7 +105,8 @@ system_run run_on_big_core(const big_core_config& cfg, const program& prog,
 
 slowdown_row measure_workload(const workload_profile& profile,
                               const figure6_options& opts) {
-    const std::vector<sim::run_spec> specs = fig6_specs(profile, opts);
+    serve::workload_cache cache = make_session_cache(1);
+    const std::vector<sim::run_spec> specs = fig6_specs(profile, opts, &cache);
     std::vector<sim::run_outcome> outs;
     outs.reserve(specs.size());
     for (const sim::run_spec& spec : specs) outs.push_back(sim::execute(spec));
@@ -91,11 +116,12 @@ slowdown_row measure_workload(const workload_profile& profile,
 std::vector<slowdown_row> measure_suite(std::span<const workload_profile> profiles,
                                         const figure6_options& opts,
                                         sim::executor& ex) {
+    serve::workload_cache cache = make_session_cache(profiles.size());
     std::vector<sim::run_spec> specs;
     std::vector<std::size_t> first_of;  // index of each profile's first spec
     for (const workload_profile& p : profiles) {
         first_of.push_back(specs.size());
-        for (sim::run_spec& spec : fig6_specs(p, opts)) {
+        for (sim::run_spec& spec : fig6_specs(p, opts, &cache)) {
             specs.push_back(std::move(spec));
         }
     }
@@ -114,9 +140,11 @@ std::vector<slowdown_row> measure_suite(std::span<const workload_profile> profil
 
 meek_measurement measure_meek(const sim::scenario& sc, const workload_profile& profile,
                               u64 instructions, u64 seed) {
-    const sim::run_outcome baseline =
-        sim::execute({sim::vanilla_scenario(), profile, instructions, seed});
-    const sim::run_outcome meek = sim::execute({sc, profile, instructions, seed});
+    serve::workload_cache cache = make_session_cache(1);
+    const sim::run_outcome baseline = sim::execute(
+        make_spec(sim::vanilla_scenario(), profile, instructions, seed, &cache));
+    const sim::run_outcome meek =
+        sim::execute(make_spec(sc, profile, instructions, seed, &cache));
     return reduce_meek(baseline, meek);
 }
 
@@ -125,11 +153,13 @@ meek_measurement measure_meek(const soc_config& cfg, const workload_profile& pro
     // The caller's exact config is simulated via soc_override — a soc_config
     // customized beyond the registry knobs must not be silently replaced by
     // Table-II defaults. The baseline likewise runs on the caller's big core.
-    sim::run_spec baseline{sim::vanilla_scenario(), profile, instructions, seed};
+    serve::workload_cache cache = make_session_cache(1);
+    sim::run_spec baseline =
+        make_spec(sim::vanilla_scenario(), profile, instructions, seed, &cache);
     baseline.soc_override = cfg;
-    sim::run_spec meek{sim::meek_scenario(cfg.num_little_cores, cfg.fabric.kind,
-                                          cfg.little.tuning),
-                       profile, instructions, seed};
+    sim::run_spec meek = make_spec(
+        sim::meek_scenario(cfg.num_little_cores, cfg.fabric.kind, cfg.little.tuning),
+        profile, instructions, seed, &cache);
     meek.soc_override = cfg;
     return reduce_meek(sim::execute(baseline), sim::execute(meek));
 }
@@ -137,11 +167,13 @@ meek_measurement measure_meek(const soc_config& cfg, const workload_profile& pro
 std::vector<meek_measurement> measure_meek_suite(
     const sim::scenario& sc, std::span<const workload_profile> profiles,
     u64 instructions, sim::executor& ex, u64 seed) {
+    serve::workload_cache cache = make_session_cache(profiles.size());
     std::vector<sim::run_spec> specs;
     specs.reserve(profiles.size() * 2);
     for (const workload_profile& p : profiles) {
-        specs.push_back({sim::vanilla_scenario(), p, instructions, seed});
-        specs.push_back({sc, p, instructions, seed});
+        specs.push_back(
+            make_spec(sim::vanilla_scenario(), p, instructions, seed, &cache));
+        specs.push_back(make_spec(sc, p, instructions, seed, &cache));
     }
     const std::vector<sim::run_outcome> outs = sim::execute_all(ex, specs);
 

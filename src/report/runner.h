@@ -7,6 +7,10 @@
 // system) pair becomes a `sim::run_spec` job, and the suite variants fan the
 // jobs out across a `sim::executor` — per-job accumulators are merged after
 // the deterministic join, so N-thread results match 1-thread results.
+//
+// Workload generation is memoized per driver call through a
+// `serve::workload_cache`: the baseline/MEEK/lockstep/nZDC jobs for one
+// (profile, instructions, seed) point share a single generated program.
 #pragma once
 
 #include <optional>

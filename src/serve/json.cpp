@@ -1,0 +1,428 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace meek::serve {
+
+json_value json_value::make_bool(bool b) {
+    json_value v;
+    v.kind_ = json_kind::boolean;
+    v.bool_ = b;
+    return v;
+}
+
+json_value json_value::make_number(double d) {
+    json_value v;
+    v.kind_ = json_kind::number;
+    v.num_ = d;
+    return v;
+}
+
+json_value json_value::make_integer(i64 i) {
+    json_value v;
+    v.kind_ = json_kind::number;
+    v.integer_ = true;
+    v.negative_ = i < 0;
+    v.uint_ = v.negative_ ? 0 - static_cast<u64>(i) : static_cast<u64>(i);
+    v.num_ = static_cast<double>(i);
+    return v;
+}
+
+json_value json_value::make_unsigned(u64 u) {
+    json_value v;
+    v.kind_ = json_kind::number;
+    v.integer_ = true;
+    v.uint_ = u;
+    v.num_ = static_cast<double>(u);
+    return v;
+}
+
+json_value json_value::make_string(std::string s) {
+    json_value v;
+    v.kind_ = json_kind::string;
+    v.str_ = std::move(s);
+    return v;
+}
+
+json_value json_value::make_array() {
+    json_value v;
+    v.kind_ = json_kind::array;
+    return v;
+}
+
+json_value json_value::make_object() {
+    json_value v;
+    v.kind_ = json_kind::object;
+    return v;
+}
+
+bool json_value::as_bool(bool fallback) const {
+    return is_bool() ? bool_ : fallback;
+}
+
+double json_value::as_double(double fallback) const {
+    if (!is_number()) return fallback;
+    if (integer_) {
+        const double mag = static_cast<double>(uint_);
+        return negative_ ? -mag : mag;
+    }
+    return num_;
+}
+
+u64 json_value::as_u64(u64 fallback) const {
+    if (!is_number()) return fallback;
+    if (integer_) return negative_ ? fallback : uint_;
+    if (num_ < 0.0 || num_ != std::floor(num_)) return fallback;
+    return static_cast<u64>(num_);
+}
+
+const json_value* json_value::get(std::string_view key) const {
+    for (const auto& [k, v] : members_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+void json_value::set(std::string key, json_value v) {
+    kind_ = json_kind::object;
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view with explicit position.
+class parser {
+public:
+    parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+    std::optional<json_value> run() {
+        skip_ws();
+        std::optional<json_value> v = value(/*depth=*/0);
+        if (!v) return std::nullopt;
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after JSON value");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+private:
+    static constexpr int k_max_depth = 64;
+
+    void fail(const std::string& msg) {
+        if (error_ && error_->empty()) {
+            *error_ = msg + " at offset " + std::to_string(pos_);
+        }
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool eat(char c) {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<json_value> value(int depth) {
+        if (depth > k_max_depth) {
+            fail("nesting too deep");
+            return std::nullopt;
+        }
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return std::nullopt;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+            case '{': return object(depth);
+            case '[': return array(depth);
+            case '"': {
+                std::optional<std::string> s = string();
+                if (!s) return std::nullopt;
+                return json_value::make_string(std::move(*s));
+            }
+            case 't':
+                if (literal("true")) return json_value::make_bool(true);
+                break;
+            case 'f':
+                if (literal("false")) return json_value::make_bool(false);
+                break;
+            case 'n':
+                if (literal("null")) return json_value::make_null();
+                break;
+            default:
+                if (c == '-' || (c >= '0' && c <= '9')) return number();
+                break;
+        }
+        fail(std::string("unexpected character '") + c + "'");
+        return std::nullopt;
+    }
+
+    std::optional<json_value> object(int depth) {
+        eat('{');
+        json_value obj = json_value::make_object();
+        skip_ws();
+        if (eat('}')) return obj;
+        for (;;) {
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key string");
+                return std::nullopt;
+            }
+            std::optional<std::string> key = string();
+            if (!key) return std::nullopt;
+            skip_ws();
+            if (!eat(':')) {
+                fail("expected ':' after object key");
+                return std::nullopt;
+            }
+            skip_ws();
+            std::optional<json_value> v = value(depth + 1);
+            if (!v) return std::nullopt;
+            obj.set(std::move(*key), std::move(*v));
+            skip_ws();
+            if (eat(',')) continue;
+            if (eat('}')) return obj;
+            fail("expected ',' or '}' in object");
+            return std::nullopt;
+        }
+    }
+
+    std::optional<json_value> array(int depth) {
+        eat('[');
+        json_value arr = json_value::make_array();
+        skip_ws();
+        if (eat(']')) return arr;
+        for (;;) {
+            skip_ws();
+            std::optional<json_value> v = value(depth + 1);
+            if (!v) return std::nullopt;
+            arr.push_back(std::move(*v));
+            skip_ws();
+            if (eat(',')) continue;
+            if (eat(']')) return arr;
+            fail("expected ',' or ']' in array");
+            return std::nullopt;
+        }
+    }
+
+    std::optional<std::string> string() {
+        eat('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+                return std::nullopt;
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    u32 code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+                            fail("bad \\u escape");
+                            return std::nullopt;
+                        }
+                        const char h = text_[pos_++];
+                        code = code * 16 +
+                               static_cast<u32>(h <= '9'   ? h - '0'
+                                                : h <= 'F' ? h - 'A' + 10
+                                                           : h - 'a' + 10);
+                    }
+                    // UTF-8 encode the BMP code point (surrogate pairs are out
+                    // of scope for this protocol; encode them as-is).
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                }
+                default:
+                    fail("bad escape character");
+                    return std::nullopt;
+            }
+        }
+        fail("unterminated string");
+        return std::nullopt;
+    }
+
+    std::optional<json_value> number() {
+        const std::size_t start = pos_;
+        const bool negative = eat('-');
+        if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            fail("bad number");
+            return std::nullopt;
+        }
+        bool integral = true;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("bad number: digit required after '.'");
+                return std::nullopt;
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("bad number: digit required in exponent");
+                return std::nullopt;
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        if (integral) {
+            errno = 0;
+            const u64 mag = std::strtoull(token.c_str() + (negative ? 1 : 0), nullptr, 10);
+            if (errno == 0) {
+                if (!negative) return json_value::make_unsigned(mag);
+                if (mag <= static_cast<u64>(INT64_MAX) + 1) {
+                    return json_value::make_integer(-static_cast<i64>(mag - 1) - 1);
+                }
+            }
+            // Out-of-range integer: fall through to the double view.
+        }
+        return json_value::make_number(std::strtod(token.c_str(), nullptr));
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string* error_;
+};
+
+}  // namespace
+
+std::optional<json_value> json_parse(std::string_view text, std::string* error) {
+    if (error) error->clear();
+    return parser(text, error).run();
+}
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+void json_object_writer::key_prefix(std::string_view key) {
+    if (!first_) out_ += ",";
+    first_ = false;
+    out_ += "\"";
+    out_ += json_escape(key);
+    out_ += "\":";
+}
+
+void json_object_writer::field(std::string_view key, std::string_view value) {
+    key_prefix(key);
+    out_ += "\"";
+    out_ += json_escape(value);
+    out_ += "\"";
+}
+
+void json_object_writer::field(std::string_view key, const char* value) {
+    field(key, std::string_view(value));
+}
+
+void json_object_writer::field(std::string_view key, u64 value) {
+    key_prefix(key);
+    out_ += std::to_string(value);
+}
+
+void json_object_writer::field(std::string_view key, i64 value) {
+    key_prefix(key);
+    out_ += std::to_string(value);
+}
+
+void json_object_writer::field(std::string_view key, bool value) {
+    key_prefix(key);
+    out_ += value ? "true" : "false";
+}
+
+void json_object_writer::field_fixed(std::string_view key, double value, int decimals) {
+    key_prefix(key);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    out_ += buf;
+}
+
+void json_object_writer::field_raw(std::string_view key, std::string_view json_fragment) {
+    key_prefix(key);
+    out_ += json_fragment;
+}
+
+}  // namespace meek::serve

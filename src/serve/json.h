@@ -1,0 +1,107 @@
+// Minimal hand-rolled JSON reader/writer for the serve protocol — no external
+// dependencies, no allocation tricks, just enough of RFC 8259 for
+// line-delimited request/response objects.
+//
+// The reader parses a full value (object/array/string/number/bool/null) and
+// rejects trailing garbage, so "one line = one document" holds. Integers are
+// kept exactly (u64/i64) alongside the double view, because cycle counts must
+// round-trip bit-for-bit through the NDJSON stream.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace meek::serve {
+
+enum class json_kind : u8 { null, boolean, number, string, array, object };
+
+class json_value {
+public:
+    json_value() = default;
+
+    static json_value make_null() { return json_value(); }
+    static json_value make_bool(bool b);
+    static json_value make_number(double d);
+    static json_value make_integer(i64 i);
+    static json_value make_unsigned(u64 u);
+    static json_value make_string(std::string s);
+    static json_value make_array();
+    static json_value make_object();
+
+    json_kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == json_kind::null; }
+    bool is_bool() const { return kind_ == json_kind::boolean; }
+    bool is_number() const { return kind_ == json_kind::number; }
+    bool is_integer() const { return kind_ == json_kind::number && integer_; }
+    bool is_unsigned_integer() const { return is_integer() && !negative_; }
+    bool is_string() const { return kind_ == json_kind::string; }
+    bool is_array() const { return kind_ == json_kind::array; }
+    bool is_object() const { return kind_ == json_kind::object; }
+
+    // Typed views; `fallback` when the value has a different kind.
+    bool as_bool(bool fallback = false) const;
+    double as_double(double fallback = 0.0) const;
+    u64 as_u64(u64 fallback = 0) const;
+    const std::string& as_string() const { return str_; }  // empty if not a string
+
+    // Array / object access.
+    const std::vector<json_value>& items() const { return items_; }
+    const std::vector<std::pair<std::string, json_value>>& members() const {
+        return members_;
+    }
+    const json_value* get(std::string_view key) const;  // nullptr when absent
+
+    // Mutation used by the parser and by tests that build documents.
+    void push_back(json_value v) { items_.push_back(std::move(v)); }
+    void set(std::string key, json_value v);
+
+private:
+    json_kind kind_ = json_kind::null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    u64 uint_ = 0;       // exact magnitude when integer_
+    bool negative_ = false;
+    bool integer_ = false;
+    std::string str_;
+    std::vector<json_value> items_;
+    std::vector<std::pair<std::string, json_value>> members_;
+};
+
+// Parse one complete JSON value. On failure returns nullopt and, when `error`
+// is non-null, a human-readable message with the byte offset.
+std::optional<json_value> json_parse(std::string_view text, std::string* error = nullptr);
+
+// Escape `s` for embedding inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+// Single-line JSON object builder: fields appear in insertion order, so a
+// writer-produced row is byte-stable for a given field sequence.
+class json_object_writer {
+public:
+    json_object_writer() : out_("{") {}
+
+    void field(std::string_view key, std::string_view value);
+    void field(std::string_view key, const char* value);
+    void field(std::string_view key, u64 value);
+    void field(std::string_view key, i64 value);
+    void field(std::string_view key, bool value);
+    // Fixed-point with `decimals` digits — deterministic across platforms for
+    // deterministic inputs, unlike shortest-round-trip formatting.
+    void field_fixed(std::string_view key, double value, int decimals);
+    // A pre-serialized JSON fragment (nested object/array).
+    void field_raw(std::string_view key, std::string_view json_fragment);
+
+    std::string str() const { return out_ + "}"; }
+
+private:
+    void key_prefix(std::string_view key);
+    std::string out_;
+    bool first_ = true;
+};
+
+}  // namespace meek::serve

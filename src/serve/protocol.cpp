@@ -1,0 +1,249 @@
+#include "serve/protocol.h"
+
+#include "serve/json.h"
+#include "sim/executor.h"
+#include "workloads/profile.h"
+
+namespace meek::serve {
+namespace {
+
+constexpr int k_ipc_decimals = 6;
+
+bool field_is_string(const json_value& v) { return v.is_string(); }
+
+// A strictly positive integer: -1 must be rejected, not wrapped or defaulted.
+bool field_is_uint(const json_value& v) {
+    return v.is_unsigned_integer() && v.as_u64(0) != 0;
+}
+
+}  // namespace
+
+parsed_request parse_request(std::string_view line) {
+    parsed_request out;
+    std::string json_error;
+    const std::optional<json_value> doc = json_parse(line, &json_error);
+    if (!doc) {
+        out.error = "bad json: " + json_error;
+        return out;
+    }
+    if (!doc->is_object()) {
+        out.error = "request must be a json object";
+        return out;
+    }
+
+    run_request& req = out.request;
+    for (const auto& [key, value] : doc->members()) {
+        if (key == "id") {
+            if (!field_is_string(value)) {
+                out.error = "field 'id' must be a string";
+                return out;
+            }
+            req.id = value.as_string();
+        } else if (key == "scenario") {
+            if (!field_is_string(value)) {
+                out.error = "field 'scenario' must be a string";
+                return out;
+            }
+            req.scenario = value.as_string();
+        } else if (key == "workload") {
+            if (!field_is_string(value)) {
+                out.error = "field 'workload' must be a string";
+                return out;
+            }
+            req.workload = value.as_string();
+        } else if (key == "fabric") {
+            if (!field_is_string(value)) {
+                out.error = "field 'fabric' must be a string";
+                return out;
+            }
+            req.fabric = value.as_string();
+        } else if (key == "tuning") {
+            if (!field_is_string(value)) {
+                out.error = "field 'tuning' must be a string";
+                return out;
+            }
+            req.tuning = value.as_string();
+        } else if (key == "cores") {
+            if (!field_is_uint(value)) {
+                out.error = "field 'cores' must be a positive integer";
+                return out;
+            }
+            req.cores = value.as_u64();
+        } else if (key == "instructions") {
+            if (!field_is_uint(value)) {
+                out.error = "field 'instructions' must be a positive integer";
+                return out;
+            }
+            req.instructions = value.as_u64();
+        } else if (key == "seed") {
+            if (!value.is_unsigned_integer()) {
+                out.error = "field 'seed' must be a non-negative integer";
+                return out;
+            }
+            req.seed = value.as_u64();
+        } else if (key == "repeats") {
+            if (!field_is_uint(value)) {
+                out.error = "field 'repeats' must be a positive integer";
+                return out;
+            }
+            req.repeats = value.as_u64();
+        } else {
+            out.error = "unknown field '" + key + "'";
+            return out;
+        }
+    }
+
+    if (req.scenario.empty()) {
+        out.error = "missing required field 'scenario'";
+        return out;
+    }
+    if (req.workload.empty()) {
+        out.error = "missing required field 'workload'";
+        return out;
+    }
+    const bool has_knobs = req.cores || req.fabric || req.tuning;
+    if (has_knobs && req.scenario != "meek") {
+        out.error = "inline knobs (cores/fabric/tuning) require scenario \"meek\"";
+        return out;
+    }
+    return out;
+}
+
+std::string to_json(const run_request& req) {
+    json_object_writer w;
+    if (!req.id.empty()) w.field("id", req.id);
+    w.field("scenario", req.scenario);
+    if (req.cores) w.field("cores", *req.cores);
+    if (req.fabric) w.field("fabric", *req.fabric);
+    if (req.tuning) w.field("tuning", *req.tuning);
+    w.field("workload", req.workload);
+    w.field("instructions", req.instructions);
+    w.field("seed", req.seed);
+    if (req.repeats != 1) w.field("repeats", req.repeats);
+    return w.str();
+}
+
+std::string resolve_request(const run_request& req, u64 repeat, sim::run_spec* out) {
+    // Scenario: registry name, or "meek" assembled from the inline knobs.
+    if (req.scenario == "meek") {
+        u32 cores = 4;
+        fabric_kind fabric = fabric_kind::f2;
+        little_core_tuning tuning = little_core_tuning::optimized;
+        if (req.cores) {
+            if (*req.cores == 0 || *req.cores > 64) {
+                return "cores out of range (1..64)";
+            }
+            cores = static_cast<u32>(*req.cores);
+        }
+        if (req.fabric) {
+            if (*req.fabric == "f2") {
+                fabric = fabric_kind::f2;
+            } else if (*req.fabric == "axi") {
+                fabric = fabric_kind::axi_interconnect;
+            } else {
+                return "unknown fabric '" + *req.fabric + "' (want f2|axi)";
+            }
+        }
+        if (req.tuning) {
+            if (*req.tuning == "opt") {
+                tuning = little_core_tuning::optimized;
+            } else if (*req.tuning == "def") {
+                tuning = little_core_tuning::default_rocket;
+            } else {
+                return "unknown tuning '" + *req.tuning + "' (want opt|def)";
+            }
+        }
+        out->sc = sim::meek_scenario(cores, fabric, tuning);
+    } else {
+        const sim::scenario* sc = sim::find_scenario(req.scenario);
+        if (sc == nullptr) {
+            return "unknown scenario '" + req.scenario + "'";
+        }
+        out->sc = *sc;
+    }
+
+    const workload_profile* profile = find_profile(req.workload);
+    if (profile == nullptr) {
+        return "unknown workload '" + req.workload + "'";
+    }
+    out->workload = *profile;
+    out->instructions = req.instructions;
+    // Repeat 0 runs the requested seed itself; later repeats fan out into
+    // independent derived streams, so a repeated request samples fresh
+    // workload instances deterministically.
+    out->workload_seed =
+        repeat == 0 ? req.seed : sim::derive_stream_seed(req.seed, repeat);
+    return "";
+}
+
+std::string to_json(const response_row& row) {
+    json_object_writer w;
+    w.field("request", row.request_index);
+    w.field("repeat", row.repeat);
+    if (!row.id.empty()) w.field("id", row.id);
+    if (!row.error.empty()) {
+        w.field("error", row.error);
+        return w.str();
+    }
+    const sim::run_outcome& o = row.outcome;
+    w.field("scenario", o.scenario);
+    w.field("workload", o.workload);
+    w.field("seed", row.seed);
+    w.field("cycles", static_cast<u64>(o.cycles));
+    w.field("instructions", o.instructions);
+    w.field_fixed("ipc", o.ipc, k_ipc_decimals);
+    w.field("verified_ok", o.verified_ok);
+    w.field("skipped", o.skipped);
+    w.field("replayed_instructions", o.replayed_instructions);
+    w.field("checker_compute_cycles", static_cast<u64>(o.checker_compute_cycles));
+    w.field("stall_collecting", static_cast<u64>(o.stats.stall_collecting));
+    w.field("stall_forwarding", static_cast<u64>(o.stats.stall_forwarding));
+    w.field("stall_checker", static_cast<u64>(o.stats.stall_checker));
+    return w.str();
+}
+
+std::optional<response_row> parse_response(std::string_view line, std::string* error) {
+    std::string json_error;
+    const std::optional<json_value> doc = json_parse(line, &json_error);
+    if (!doc || !doc->is_object()) {
+        if (error) {
+            *error = !doc ? "bad json: " + json_error : "response must be an object";
+        }
+        return std::nullopt;
+    }
+    response_row row;
+    const json_value* v;
+    if ((v = doc->get("request"))) row.request_index = v->as_u64();
+    if ((v = doc->get("repeat"))) row.repeat = v->as_u64();
+    if ((v = doc->get("id"))) row.id = v->as_string();
+    if ((v = doc->get("error"))) {
+        row.error = v->as_string();
+        return row;
+    }
+    if ((v = doc->get("scenario"))) row.outcome.scenario = v->as_string();
+    if ((v = doc->get("workload"))) row.outcome.workload = v->as_string();
+    if ((v = doc->get("seed"))) row.seed = v->as_u64();
+    if ((v = doc->get("cycles"))) row.outcome.cycles = v->as_u64();
+    if ((v = doc->get("instructions"))) row.outcome.instructions = v->as_u64();
+    if ((v = doc->get("ipc"))) row.outcome.ipc = v->as_double();
+    if ((v = doc->get("verified_ok"))) row.outcome.verified_ok = v->as_bool();
+    if ((v = doc->get("skipped"))) row.outcome.skipped = v->as_bool();
+    if ((v = doc->get("replayed_instructions"))) {
+        row.outcome.replayed_instructions = v->as_u64();
+    }
+    if ((v = doc->get("checker_compute_cycles"))) {
+        row.outcome.checker_compute_cycles = v->as_u64();
+    }
+    if ((v = doc->get("stall_collecting"))) {
+        row.outcome.stats.stall_collecting = v->as_u64();
+    }
+    if ((v = doc->get("stall_forwarding"))) {
+        row.outcome.stats.stall_forwarding = v->as_u64();
+    }
+    if ((v = doc->get("stall_checker"))) {
+        row.outcome.stats.stall_checker = v->as_u64();
+    }
+    return row;
+}
+
+}  // namespace meek::serve

@@ -1,0 +1,90 @@
+// The serve wire protocol: line-delimited JSON in both directions.
+//
+// Request (one object per line):
+//   {"scenario":"meek/f2/opt/4","workload":"hmmer",
+//    "instructions":20000,"seed":7,"repeats":2,"id":"client-tag"}
+//
+//   * "scenario"     — a sim registry name ("vanilla", "ea-lockstep", "nzdc",
+//                      "meek/<f2|axi>/<opt|def>/<cores>"), or the literal
+//                      "meek" to build one from the inline knobs below.
+//   * "cores"/"fabric"/"tuning" — inline MEEK knobs ("fabric": "f2"|"axi",
+//                      "tuning": "opt"|"def"); only legal with scenario
+//                      "meek", where they default to 4/f2/opt.
+//   * "workload"     — a workload profile name (required).
+//   * "instructions" — dynamic length (default 200000).
+//   * "seed"         — workload generation seed (default 0xC0FFEE).
+//   * "repeats"      — number of evaluations; repeat r>0 re-generates the
+//                      workload with derive_stream_seed(seed, r), repeat 0
+//                      uses `seed` itself (default 1).
+//   * "id"           — opaque client tag echoed into every response row.
+//
+// Unknown fields are an error: a typo must not silently evaluate defaults.
+//
+// Response (one object per (request, repeat), in request order):
+//   {"request":0,"repeat":0,"id":"client-tag","scenario":"meek/f2/opt/4",
+//    "workload":"hmmer","seed":7,"cycles":..,"instructions":..,
+//    "ipc":1.234567,"verified_ok":true,"skipped":false,
+//    "replayed_instructions":..,"checker_compute_cycles":..,
+//    "stall_collecting":..,"stall_forwarding":..,"stall_checker":..}
+// or, for a request that failed to parse or resolve:
+//   {"request":3,"repeat":0,"id":"client-tag","error":"unknown workload 'x'"}
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/job.h"
+#include "sim/scenario.h"
+
+namespace meek::serve {
+
+// One evaluation request, as parsed from a single NDJSON line.
+struct run_request {
+    std::string id;        // optional client tag, echoed back verbatim
+    std::string scenario;  // registry name, or "meek" + inline knobs
+    std::optional<u64> cores;
+    std::optional<std::string> fabric;  // "f2" | "axi"
+    std::optional<std::string> tuning;  // "opt" | "def"
+    std::string workload;
+    u64 instructions = 200'000;
+    u64 seed = 0xC0FFEE;
+    u64 repeats = 1;
+};
+
+// Parse one request line. Exactly one of (request, error) is meaningful:
+// empty error => request is valid.
+struct parsed_request {
+    run_request request;
+    std::string error;
+    bool ok() const { return error.empty(); }
+};
+parsed_request parse_request(std::string_view line);
+
+// Serialize a request back to its wire form (serve_bench builds batches with
+// this; omits fields that hold their defaults only for id/knobs).
+std::string to_json(const run_request& req);
+
+// Resolve the scenario reference (registry name or inline knobs) and the
+// workload profile into a run_spec for repeat `repeat`. Returns an error
+// message, or "" on success.
+std::string resolve_request(const run_request& req, u64 repeat, sim::run_spec* out);
+
+// One NDJSON response row.
+struct response_row {
+    u64 request_index = 0;
+    u64 repeat = 0;
+    std::string id;
+    std::string error;  // nonempty => the outcome fields are absent
+    u64 seed = 0;       // the workload seed this repeat actually used
+    sim::run_outcome outcome;
+};
+
+std::string to_json(const response_row& row);
+
+// Parse a response row (the serve_bench client side, and round-trip tests).
+// Returns nullopt and sets `error` on malformed input.
+std::optional<response_row> parse_response(std::string_view line,
+                                           std::string* error = nullptr);
+
+}  // namespace meek::serve

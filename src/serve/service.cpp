@@ -1,0 +1,118 @@
+#include "serve/service.h"
+
+#include <istream>
+#include <ostream>
+
+namespace meek::serve {
+namespace {
+
+// Trailing '\r' tolerance: requests may arrive with CRLF line endings.
+std::string_view strip_cr(std::string_view line) {
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    return line;
+}
+
+bool is_blank(std::string_view line) {
+    for (const char c : line) {
+        if (c != ' ' && c != '\t') return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+service::service(const service_options& opts)
+    : cache_(opts.cache_capacity), pool_(opts.threads) {}
+
+std::vector<response_row> service::evaluate(const std::vector<std::string>& lines,
+                                            batch_stats* stats) {
+    // Phase 1: parse and resolve every line on the session thread; collect
+    // the dispatchable specs in (request, repeat) order.
+    struct slot {
+        response_row row;            // id/error prefilled; outcome filled later
+        std::size_t spec_index = 0;  // into `specs` when error is empty
+    };
+    std::vector<slot> slots;
+    std::vector<sim::run_spec> specs;
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        parsed_request parsed = parse_request(strip_cr(lines[i]));
+        if (!parsed.ok()) {
+            slot s;
+            s.row.request_index = i;
+            s.row.error = parsed.error;
+            slots.push_back(std::move(s));
+            continue;
+        }
+        const run_request& req = parsed.request;
+        for (u64 r = 0; r < req.repeats; ++r) {
+            slot s;
+            s.row.request_index = i;
+            s.row.repeat = r;
+            s.row.id = req.id;
+            sim::run_spec spec;
+            const std::string err = resolve_request(req, r, &spec);
+            if (!err.empty()) {
+                s.row.error = err;
+                slots.push_back(std::move(s));
+                break;  // a request that cannot resolve yields one error row
+            }
+            spec.workloads = &cache_;
+            s.row.seed = spec.workload_seed;
+            s.spec_index = specs.size();
+            specs.push_back(std::move(spec));
+            slots.push_back(std::move(s));
+        }
+    }
+
+    // Phase 2: fan the jobs out; results return in spec order.
+    const std::vector<sim::run_outcome> outcomes = sim::execute_all(pool_, specs);
+
+    // Phase 3: merge outcomes back into their slots.
+    std::vector<response_row> rows;
+    rows.reserve(slots.size());
+    for (slot& s : slots) {
+        if (s.row.error.empty()) {
+            s.row.outcome = outcomes[s.spec_index];
+        }
+        rows.push_back(std::move(s.row));
+    }
+
+    if (stats) {
+        stats->requests += lines.size();
+        stats->rows += rows.size();
+        stats->jobs += specs.size();
+        for (const response_row& row : rows) {
+            if (!row.error.empty()) ++stats->errors;
+        }
+    }
+    return rows;
+}
+
+bool service::serve_batch(std::istream& in, std::ostream& out, batch_stats* stats) {
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (is_blank(strip_cr(line))) {
+            if (lines.empty()) continue;  // skip leading blank lines
+            break;                        // batch terminator
+        }
+        lines.push_back(line);
+    }
+    if (lines.empty()) return false;
+
+    for (const response_row& row : evaluate(lines, stats)) {
+        out << to_json(row) << '\n';
+    }
+    out.flush();
+    return true;
+}
+
+batch_stats service::serve_stream(std::istream& in, std::ostream& out) {
+    batch_stats total;
+    while (serve_batch(in, out, &total)) {
+    }
+    return total;
+}
+
+}  // namespace meek::serve

@@ -1,0 +1,65 @@
+// The batched evaluation service: a long-lived session that owns one
+// executor and one content-addressed workload cache, accepts batches of
+// NDJSON run requests, fans the resolved jobs out across the pool, and
+// streams response rows back in deterministic (request, repeat) order.
+//
+// Determinism contract: for a given batch text, the response byte stream is
+// identical at any thread count and any cache capacity — scheduling affects
+// wall-clock only. Requests that fail to parse or resolve produce error rows
+// in their slot instead of aborting the batch.
+//
+// Batch framing on a stream: one request per line; a blank line (or EOF)
+// ends the batch. serve_stream() loops batches until EOF, flushing after
+// each, which is the stdin/stdout daemon mode of tools/meek_serve.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/workload_cache.h"
+#include "sim/executor.h"
+#include "sim/job.h"
+
+namespace meek::serve {
+
+struct service_options {
+    u32 threads = 0;                  // 0 => MEEK_THREADS / hardware_concurrency
+    std::size_t cache_capacity = 64;  // workload cache entries; 0 disables caching
+};
+
+struct batch_stats {
+    u64 requests = 0;  // lines attempted
+    u64 rows = 0;      // response rows emitted (includes error rows)
+    u64 errors = 0;    // error rows among them
+    u64 jobs = 0;      // simulations actually dispatched
+};
+
+class service {
+public:
+    explicit service(const service_options& opts = {});
+
+    // Evaluate one batch of request lines; rows come back ordered by
+    // (request index, repeat).
+    std::vector<response_row> evaluate(const std::vector<std::string>& lines,
+                                       batch_stats* stats = nullptr);
+
+    // Read one blank-line-terminated batch from `in`, evaluate it, and write
+    // one NDJSON row per (request, repeat) to `out`. Returns false when `in`
+    // was exhausted before any request line was read.
+    bool serve_batch(std::istream& in, std::ostream& out, batch_stats* stats = nullptr);
+
+    // Drain `in` batch by batch until EOF, flushing `out` after each batch;
+    // returns the aggregate stats of the session.
+    batch_stats serve_stream(std::istream& in, std::ostream& out);
+
+    const workload_cache& cache() const { return cache_; }
+    sim::executor& pool() { return pool_; }
+
+private:
+    workload_cache cache_;
+    sim::executor pool_;
+};
+
+}  // namespace meek::serve

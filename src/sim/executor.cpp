@@ -40,6 +40,29 @@ executor::~executor() {
     for (std::thread& t : workers_) t.join();
 }
 
+executor_timing executor::timing() const {
+    std::lock_guard<std::mutex> lock(timing_mutex_);
+    executor_timing t;
+    t.jobs = job_ms_.count();
+    t.min_ms = job_ms_.min();
+    t.mean_ms = job_ms_.mean();
+    t.max_ms = job_ms_.max();
+    t.total_ms = total_job_ms_;
+    return t;
+}
+
+void executor::reset_timing() {
+    std::lock_guard<std::mutex> lock(timing_mutex_);
+    job_ms_ = running_stat{};
+    total_job_ms_ = 0.0;
+}
+
+void executor::note_job_ms(double ms) {
+    std::lock_guard<std::mutex> lock(timing_mutex_);
+    job_ms_.add(ms);
+    total_job_ms_ += ms;
+}
+
 void executor::enqueue(std::function<void()> task) {
     {
         std::lock_guard<std::mutex> lock(mutex_);

@@ -15,6 +15,7 @@
 // draining the queue.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -25,6 +26,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 
 namespace meek::sim {
@@ -34,6 +36,17 @@ namespace meek::sim {
 struct job_context {
     std::size_t index = 0;  // submission position within the batch
     u64 stream_seed = 0;    // derive_stream_seed(batch seed, index)
+};
+
+// Aggregate wall-time of completed indexed jobs: the shard-skew view. A
+// campaign whose max is many times its mean is dominated by one long shard
+// and wants smaller shards (or stealing), not more threads.
+struct executor_timing {
+    std::size_t jobs = 0;
+    double min_ms = 0.0;
+    double mean_ms = 0.0;
+    double max_ms = 0.0;
+    double total_ms = 0.0;
 };
 
 // splitmix64 mix of (base_seed, stream_index): statistically independent
@@ -55,6 +68,11 @@ public:
     executor& operator=(const executor&) = delete;
 
     u32 num_threads() const { return static_cast<u32>(workers_.size()); }
+
+    // Per-job wall-time summary over every indexed job completed since
+    // construction (or the last reset). Thread-safe.
+    executor_timing timing() const;
+    void reset_timing();
 
     // Submit one job; the future holds the result or the job's exception.
     template <class Fn>
@@ -80,7 +98,17 @@ public:
         futures.reserve(count);
         for (std::size_t i = 0; i < count; ++i) {
             const job_context ctx{i, derive_stream_seed(base_seed, i)};
-            futures.push_back(submit([fn, ctx] { return fn(ctx); }));
+            // Each job's body is wall-clock timed into the pool's summary —
+            // purely diagnostic, never fed back into results, so determinism
+            // holds.
+            futures.push_back(submit([this, fn, ctx] {
+                const auto start = std::chrono::steady_clock::now();
+                result_t result = fn(ctx);
+                note_job_ms(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+                return result;
+            }));
         }
         std::vector<result_t> results;
         results.reserve(count);
@@ -109,12 +137,17 @@ public:
 private:
     void enqueue(std::function<void()> task);
     void worker_loop();
+    void note_job_ms(double ms);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
+
+    mutable std::mutex timing_mutex_;
+    running_stat job_ms_;
+    double total_job_ms_ = 0.0;
 };
 
 }  // namespace meek::sim

@@ -43,8 +43,18 @@ run_outcome run_meek(const soc_config& cfg, const program& prog) {
 }  // namespace
 
 run_outcome execute(const run_spec& spec) {
-    const generated_workload wl =
-        generate_workload(spec.workload, spec.instructions, spec.workload_seed);
+    // Pull the workload through the spec's provider when one is attached
+    // (shared cache), otherwise generate a private copy.
+    std::shared_ptr<const generated_workload> shared_wl;
+    std::optional<generated_workload> local_wl;
+    if (spec.workloads != nullptr) {
+        shared_wl = spec.workloads->workload_for(spec.workload, spec.instructions,
+                                                 spec.workload_seed);
+    } else {
+        local_wl = generate_workload(spec.workload, spec.instructions,
+                                     spec.workload_seed);
+    }
+    const generated_workload& wl = shared_wl ? *shared_wl : *local_wl;
     const soc_config cfg = spec.soc_override ? *spec.soc_override : spec.sc.soc();
 
     run_outcome out;

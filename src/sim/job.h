@@ -11,6 +11,7 @@
 #include "meek/soc.h"
 #include "sim/executor.h"
 #include "sim/scenario.h"
+#include "workloads/generator.h"
 #include "workloads/profile.h"
 
 namespace meek::sim {
@@ -27,6 +28,13 @@ struct run_spec {
     // result's name). Lets callers sweep knobs the registry doesn't encode
     // without them being silently replaced by Table-II defaults.
     std::optional<soc_config> soc_override;
+
+    // Optional shared workload provider (non-owning; must outlive the job).
+    // When set, execute() pulls the generated program through it — a session
+    // cache then builds each (profile, instructions, seed) workload once for
+    // every scenario that evaluates it. When null, the job generates its own
+    // private copy, byte-identical to what a cache would return.
+    workload_source* workloads = nullptr;
 };
 
 // The reduced, plain-data result a job returns across the thread boundary.

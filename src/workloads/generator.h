@@ -13,6 +13,8 @@
 //   f1..f6 working FP registers     f7, f8 near-1.0 constants
 #pragma once
 
+#include <memory>
+
 #include "isa/program.h"
 #include "workloads/profile.h"
 
@@ -27,5 +29,17 @@ struct generated_workload {
 generated_workload generate_workload(const workload_profile& profile,
                                      u64 target_instructions,
                                      u64 seed = 0xC0FFEE);
+
+// Abstract provider the sim layer can pull workloads through instead of
+// calling generate_workload directly. Lets a session interpose a shared
+// content-addressed cache (serve::workload_cache) without the job layer
+// depending on the serving layer. Implementations must be safe to call
+// concurrently from executor workers and must return the same program for the
+// same (profile, target_instructions, seed) that generate_workload would.
+struct workload_source {
+    virtual ~workload_source() = default;
+    virtual std::shared_ptr<const generated_workload> workload_for(
+        const workload_profile& profile, u64 target_instructions, u64 seed) = 0;
+};
 
 }  // namespace meek

@@ -1,6 +1,7 @@
 #include "workloads/profile.h"
 
 #include <array>
+#include <cstring>
 
 namespace meek {
 namespace {
@@ -71,6 +72,55 @@ const workload_profile* find_profile(const std::string& name) {
         if (p.name == name) return &p;
     }
     return nullptr;
+}
+
+namespace {
+
+// FNV-1a, folded over strings and the raw bit patterns of numeric fields so
+// that any observable difference between two profiles changes the hash.
+struct fnv1a {
+    u64 h = 0xcbf29ce484222325ULL;
+
+    void bytes(const void* data, std::size_t n) {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ULL;
+        }
+    }
+    void str(const std::string& s) {
+        bytes(s.data(), s.size());
+        bytes("\0", 1);  // length delimiter: ("ab","c") != ("a","bc")
+    }
+    void f64(double v) {
+        u64 bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        bytes(&bits, sizeof bits);
+    }
+    void u(u64 v) { bytes(&v, sizeof v); }
+};
+
+}  // namespace
+
+u64 profile_fingerprint(const workload_profile& p) {
+    fnv1a h;
+    h.str(p.name);
+    h.str(p.suite);
+    h.f64(p.load_frac);
+    h.f64(p.store_frac);
+    h.f64(p.branch_frac);
+    h.f64(p.mul_frac);
+    h.f64(p.div_frac);
+    h.f64(p.fp_frac);
+    h.f64(p.fp_div_frac);
+    h.f64(p.csr_frac);
+    h.f64(p.branch_random_frac);
+    h.u(p.working_set_kb);
+    h.f64(p.irregular_frac);
+    h.u(p.default_instructions);
+    h.u(p.nzdc_supported ? 1 : 0);
+    h.u(p.code_kb);
+    return h.h;
 }
 
 }  // namespace meek

@@ -57,4 +57,11 @@ std::span<const workload_profile> spec06_profiles();
 std::span<const workload_profile> parsec_profiles();
 const workload_profile* find_profile(const std::string& name);
 
+// Content hash over every generation-relevant field (name, suite, mix
+// fractions, working set, code footprint). Two profiles that would generate
+// different programs never collide, and a renamed-but-identical profile does
+// not alias a stale entry — this is what makes a workload cache keyed on the
+// fingerprint content-addressed rather than name-addressed.
+u64 profile_fingerprint(const workload_profile& p);
+
 }  // namespace meek

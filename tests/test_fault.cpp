@@ -1,8 +1,13 @@
 // Fault-campaign tests: detection guarantees per target class
-// (parameterized), latency sanity, masking bounds and report integrity.
+// (parameterized), latency sanity, masking bounds, report integrity, and
+// shard checkpoint/resume.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "fault/campaign.h"
+#include "sim/executor.h"
 #include "workloads/generator.h"
 
 namespace meek {
@@ -106,6 +111,170 @@ TEST(campaign, histogram_covers_detected_faults) {
     const campaign_result r = small_campaign(fault_target::any, 25);
     const histogram h = latency_histogram(r, 3200.0, 16);
     EXPECT_EQ(h.total(), r.detected);
+}
+
+// --------------------------------------------------------------- resume ---
+
+struct resume_fixture {
+    fault_campaign_config fc;
+    generated_workload wl;
+    soc_config soc;
+
+    explicit resume_fixture(const std::string& dir) {
+        fc.num_faults = 20;
+        fc.faults_per_shard = 5;  // 4 shards
+        fc.seed = 21;
+        fc.checkpoint_dir = dir;
+        const u64 needed = u64{fc.num_faults} * (fc.gap_instructions + 2000) + 50'000;
+        wl = generate_workload(*find_profile("hmmer"), needed, 13);
+    }
+};
+
+void expect_same_records(const campaign_result& a, const campaign_result& b) {
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.masked, b.masked);
+    ASSERT_EQ(a.faults.size(), b.faults.size());
+    for (std::size_t i = 0; i < a.faults.size(); ++i) {
+        EXPECT_EQ(a.faults[i].inject_seq, b.faults[i].inject_seq) << i;
+        EXPECT_EQ(a.faults[i].inject_big_cycle, b.faults[i].inject_big_cycle) << i;
+        EXPECT_EQ(a.faults[i].detect_big_cycle, b.faults[i].detect_big_cycle) << i;
+        EXPECT_EQ(a.faults[i].detected, b.faults[i].detected) << i;
+    }
+    EXPECT_EQ(a.latency_ns.count(), b.latency_ns.count());
+    EXPECT_DOUBLE_EQ(a.latency_ns.mean(), b.latency_ns.mean());
+    EXPECT_DOUBLE_EQ(a.latency_ns.max(), b.latency_ns.max());
+}
+
+TEST(campaign_resume, checkpointed_rerun_is_bit_identical_and_skips_simulation) {
+    const std::string dir = ::testing::TempDir() + "meek_resume_identical";
+    std::filesystem::remove_all(dir);
+    resume_fixture fx(dir);
+    sim::executor ex(2);
+
+    fault_campaign_config no_ckpt = fx.fc;
+    no_ckpt.checkpoint_dir.clear();
+    const campaign_result plain = run_fault_campaign(fx.soc, fx.wl.prog, no_ckpt, ex);
+
+    const campaign_result first = run_fault_campaign(fx.soc, fx.wl.prog, fx.fc, ex);
+    EXPECT_EQ(first.resumed_shards, 0u);
+    expect_same_records(plain, first);
+    EXPECT_EQ(std::distance(std::filesystem::directory_iterator(dir),
+                            std::filesystem::directory_iterator{}),
+              4) << "one checkpoint per shard";
+
+    const campaign_result second = run_fault_campaign(fx.soc, fx.wl.prog, fx.fc, ex);
+    EXPECT_EQ(second.resumed_shards, 4u) << "all shards must come from checkpoints";
+    expect_same_records(first, second);
+}
+
+TEST(campaign_resume, partial_checkpoints_resume_only_missing_shards) {
+    const std::string dir = ::testing::TempDir() + "meek_resume_partial";
+    std::filesystem::remove_all(dir);
+    resume_fixture fx(dir);
+    sim::executor ex(2);
+
+    const campaign_result first = run_fault_campaign(fx.soc, fx.wl.prog, fx.fc, ex);
+    // Simulate a killed campaign: drop two of the four shard files.
+    ASSERT_TRUE(std::filesystem::remove(dir + "/shard_1.ckpt"));
+    ASSERT_TRUE(std::filesystem::remove(dir + "/shard_3.ckpt"));
+
+    const campaign_result resumed = run_fault_campaign(fx.soc, fx.wl.prog, fx.fc, ex);
+    EXPECT_EQ(resumed.resumed_shards, 2u);
+    expect_same_records(first, resumed);
+}
+
+TEST(campaign_resume, checkpoints_from_a_different_config_are_ignored) {
+    const std::string dir = ::testing::TempDir() + "meek_resume_mismatch";
+    std::filesystem::remove_all(dir);
+    resume_fixture fx(dir);
+    sim::executor ex(2);
+
+    run_fault_campaign(fx.soc, fx.wl.prog, fx.fc, ex);
+
+    // Same directory, different campaign seed: every header mismatches, so
+    // every shard re-runs (and the files are rewritten for the new config).
+    fault_campaign_config other = fx.fc;
+    other.seed = 22;
+    const campaign_result rerun = run_fault_campaign(fx.soc, fx.wl.prog, other, ex);
+    EXPECT_EQ(rerun.resumed_shards, 0u);
+
+    fault_campaign_config other_no_ckpt = other;
+    other_no_ckpt.checkpoint_dir.clear();
+    expect_same_records(run_fault_campaign(fx.soc, fx.wl.prog, other_no_ckpt, ex),
+                        rerun);
+}
+
+TEST(campaign_resume, checkpoints_from_a_different_workload_or_soc_are_ignored) {
+    const std::string dir = ::testing::TempDir() + "meek_resume_context";
+    std::filesystem::remove_all(dir);
+    resume_fixture fx(dir);
+    sim::executor ex(2);
+
+    run_fault_campaign(fx.soc, fx.wl.prog, fx.fc, ex);
+
+    // Identical campaign config, different program: the context fingerprint
+    // mismatches, so nothing is resumed.
+    const u64 needed =
+        u64{fx.fc.num_faults} * (fx.fc.gap_instructions + 2000) + 50'000;
+    const generated_workload other_wl =
+        generate_workload(*find_profile("mcf"), needed, 13);
+    EXPECT_NE(campaign_context_fingerprint(fx.soc, fx.wl.prog),
+              campaign_context_fingerprint(fx.soc, other_wl.prog));
+    const campaign_result other =
+        run_fault_campaign(fx.soc, other_wl.prog, fx.fc, ex);
+    EXPECT_EQ(other.resumed_shards, 0u);
+
+    // Same program again, different SoC: also re-run.
+    soc_config axi = fx.soc;
+    axi.fabric.kind = fabric_kind::axi_interconnect;
+    EXPECT_NE(campaign_context_fingerprint(fx.soc, fx.wl.prog),
+              campaign_context_fingerprint(axi, fx.wl.prog));
+    const campaign_result other_soc =
+        run_fault_campaign(axi, fx.wl.prog, fx.fc, ex);
+    EXPECT_EQ(other_soc.resumed_shards, 0u);
+}
+
+TEST(campaign_resume, serial_overload_checkpoints_as_its_own_file) {
+    const std::string dir = ::testing::TempDir() + "meek_resume_serial";
+    std::filesystem::remove_all(dir);
+    resume_fixture fx(dir);
+
+    const campaign_result first = run_fault_campaign(fx.soc, fx.wl.prog, fx.fc);
+    EXPECT_EQ(first.resumed_shards, 0u);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/serial.ckpt"));
+
+    const campaign_result second = run_fault_campaign(fx.soc, fx.wl.prog, fx.fc);
+    EXPECT_EQ(second.resumed_shards, 1u);
+    expect_same_records(first, second);
+
+    fault_campaign_config no_ckpt = fx.fc;
+    no_ckpt.checkpoint_dir.clear();
+    expect_same_records(first, run_fault_campaign(fx.soc, fx.wl.prog, no_ckpt));
+}
+
+TEST(campaign_resume, truncated_checkpoint_is_rerun_not_trusted) {
+    const std::string dir = ::testing::TempDir() + "meek_resume_truncated";
+    std::filesystem::remove_all(dir);
+    resume_fixture fx(dir);
+    sim::executor ex(2);
+
+    const campaign_result first = run_fault_campaign(fx.soc, fx.wl.prog, fx.fc, ex);
+
+    // Corrupt shard 2: keep the valid header but drop the record lines.
+    const std::string victim = dir + "/shard_2.ckpt";
+    std::ifstream in(victim);
+    std::string header1, header2, header3;
+    std::getline(in, header1);
+    std::getline(in, header2);
+    std::getline(in, header3);
+    in.close();
+    std::ofstream out(victim, std::ios::trunc);
+    out << header1 << '\n' << header2 << '\n' << header3 << '\n';
+    out.close();
+
+    const campaign_result second = run_fault_campaign(fx.soc, fx.wl.prog, fx.fc, ex);
+    EXPECT_EQ(second.resumed_shards, 3u) << "the corrupt shard must re-simulate";
+    expect_same_records(first, second);
 }
 
 TEST(campaign, errors_only_when_faults_injected) {

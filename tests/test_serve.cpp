@@ -1,0 +1,400 @@
+// Serve-layer tests: JSON reader/writer round-trips, request/response wire
+// protocol (including malformed-request error paths), the content-addressed
+// workload cache (hit/miss accounting, LRU bounds, cache-on/off outcome
+// equivalence), and batch service determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "serve/workload_cache.h"
+#include "workloads/generator.h"
+
+namespace meek {
+namespace {
+
+// ------------------------------------------------------------------- json ---
+
+TEST(serve_json, parses_scalars_arrays_and_nested_objects) {
+    const auto doc = serve::json_parse(
+        R"({"s":"a\"b\\c\n","u":18446744073709551615,"neg":-42,"d":1.5e3,)"
+        R"("t":true,"f":false,"z":null,"arr":[1,2,3],"obj":{"k":"v"}})");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_EQ(doc->get("s")->as_string(), "a\"b\\c\n");
+    EXPECT_EQ(doc->get("u")->as_u64(), 18446744073709551615ULL);
+    EXPECT_DOUBLE_EQ(doc->get("neg")->as_double(), -42.0);
+    EXPECT_DOUBLE_EQ(doc->get("d")->as_double(), 1500.0);
+    EXPECT_TRUE(doc->get("t")->as_bool());
+    EXPECT_FALSE(doc->get("f")->as_bool(true));
+    EXPECT_TRUE(doc->get("z")->is_null());
+    ASSERT_TRUE(doc->get("arr")->is_array());
+    EXPECT_EQ(doc->get("arr")->items().size(), 3u);
+    EXPECT_EQ(doc->get("arr")->items()[2].as_u64(), 3u);
+    EXPECT_EQ(doc->get("obj")->get("k")->as_string(), "v");
+    EXPECT_EQ(doc->get("missing"), nullptr);
+}
+
+TEST(serve_json, rejects_malformed_documents_with_an_offset) {
+    for (const char* bad : {"{", "{\"a\":}", "[1,]", "\"unterminated", "{'a':1}",
+                            "01x", "{\"a\":1} trailing", "nul", "1.e5", "--3",
+                            "{\"a\" 1}", "\"bad\\qescape\""}) {
+        std::string error;
+        EXPECT_FALSE(serve::json_parse(bad, &error).has_value()) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+        EXPECT_NE(error.find("offset"), std::string::npos) << bad;
+    }
+}
+
+TEST(serve_json, integers_round_trip_exactly_through_writer_and_parser) {
+    serve::json_object_writer w;
+    w.field("cycles", u64{18446744073709551615ULL});
+    w.field("count", u64{1234567890123456789ULL});
+    w.field("ok", true);
+    w.field("name", "x\"y");
+    w.field_fixed("ipc", 1.25, 6);
+    const std::string line = w.str();
+    const auto doc = serve::json_parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_EQ(doc->get("cycles")->as_u64(), 18446744073709551615ULL);
+    EXPECT_EQ(doc->get("count")->as_u64(), 1234567890123456789ULL);
+    EXPECT_TRUE(doc->get("ok")->as_bool());
+    EXPECT_EQ(doc->get("name")->as_string(), "x\"y");
+    EXPECT_DOUBLE_EQ(doc->get("ipc")->as_double(), 1.25);
+}
+
+// --------------------------------------------------------------- protocol ---
+
+TEST(serve_protocol, request_round_trips_through_wire_form) {
+    serve::run_request req;
+    req.id = "tag-1";
+    req.scenario = "meek";
+    req.cores = 6;
+    req.fabric = "axi";
+    req.tuning = "def";
+    req.workload = "swaptions";
+    req.instructions = 44'000;
+    req.seed = 99;
+    req.repeats = 3;
+
+    const serve::parsed_request back = serve::parse_request(serve::to_json(req));
+    ASSERT_TRUE(back.ok()) << back.error;
+    EXPECT_EQ(back.request.id, req.id);
+    EXPECT_EQ(back.request.scenario, req.scenario);
+    EXPECT_EQ(back.request.cores, req.cores);
+    EXPECT_EQ(back.request.fabric, req.fabric);
+    EXPECT_EQ(back.request.tuning, req.tuning);
+    EXPECT_EQ(back.request.workload, req.workload);
+    EXPECT_EQ(back.request.instructions, req.instructions);
+    EXPECT_EQ(back.request.seed, req.seed);
+    EXPECT_EQ(back.request.repeats, req.repeats);
+}
+
+TEST(serve_protocol, malformed_requests_are_rejected_with_reasons) {
+    const std::vector<std::pair<const char*, const char*>> cases = {
+        {"not json", "bad json"},
+        {"[1,2]", "must be a json object"},
+        {R"({"scenario":"vanilla"})", "missing required field 'workload'"},
+        {R"({"workload":"hmmer"})", "missing required field 'scenario'"},
+        {R"({"scenario":"vanilla","workload":"hmmer","typo":1})", "unknown field"},
+        {R"({"scenario":"vanilla","workload":"hmmer","instructions":0})",
+         "positive integer"},
+        {R"({"scenario":"vanilla","workload":"hmmer","repeats":"two"})",
+         "positive integer"},
+        {R"({"scenario":"vanilla","workload":"hmmer","repeats":-1})",
+         "positive integer"},
+        {R"({"scenario":"vanilla","workload":"hmmer","instructions":-5})",
+         "positive integer"},
+        {R"({"scenario":"vanilla","workload":"hmmer","seed":-3})",
+         "non-negative integer"},
+        {R"({"scenario":"vanilla","workload":"hmmer","seed":1.5})", "integer"},
+        {R"({"scenario":"vanilla","workload":"hmmer","cores":2})",
+         "require scenario \"meek\""},
+        {R"({"scenario":5,"workload":"hmmer"})", "must be a string"},
+    };
+    for (const auto& [line, want] : cases) {
+        const serve::parsed_request parsed = serve::parse_request(line);
+        EXPECT_FALSE(parsed.ok()) << line;
+        EXPECT_NE(parsed.error.find(want), std::string::npos)
+            << line << " -> " << parsed.error;
+    }
+}
+
+TEST(serve_protocol, resolve_covers_registry_names_inline_knobs_and_failures) {
+    serve::run_request req;
+    req.scenario = "meek/axi/def/6";
+    req.workload = "hmmer";
+    sim::run_spec spec;
+    EXPECT_EQ(serve::resolve_request(req, 0, &spec), "");
+    EXPECT_EQ(spec.sc.name, "meek/axi/def/6");
+    EXPECT_EQ(spec.workload.name, "hmmer");
+    EXPECT_EQ(spec.workload_seed, req.seed);
+
+    // Repeat >0 derives a fresh stream from the request seed.
+    EXPECT_EQ(serve::resolve_request(req, 2, &spec), "");
+    EXPECT_EQ(spec.workload_seed, sim::derive_stream_seed(req.seed, 2));
+
+    serve::run_request inline_req;
+    inline_req.scenario = "meek";
+    inline_req.cores = 2;
+    inline_req.fabric = "axi";
+    inline_req.workload = "mcf";
+    EXPECT_EQ(serve::resolve_request(inline_req, 0, &spec), "");
+    EXPECT_EQ(spec.sc.name, "meek/axi/opt/2");
+
+    serve::run_request bad = req;
+    bad.scenario = "meek/f3/opt/4";
+    EXPECT_NE(serve::resolve_request(bad, 0, &spec).find("unknown scenario"),
+              std::string::npos);
+    bad = req;
+    bad.workload = "doom";
+    EXPECT_NE(serve::resolve_request(bad, 0, &spec).find("unknown workload"),
+              std::string::npos);
+    bad = req;
+    bad.scenario = "meek";
+    bad.fabric = "pcie";
+    EXPECT_NE(serve::resolve_request(bad, 0, &spec).find("unknown fabric"),
+              std::string::npos);
+}
+
+TEST(serve_protocol, response_rows_round_trip_including_error_rows) {
+    serve::response_row row;
+    row.request_index = 7;
+    row.repeat = 2;
+    row.id = "cli";
+    row.seed = 1234;
+    row.outcome.scenario = "meek/f2/opt/4";
+    row.outcome.workload = "hmmer";
+    row.outcome.cycles = 123'456'789'012ULL;
+    row.outcome.instructions = 20'000;
+    row.outcome.ipc = 1.5;
+    row.outcome.verified_ok = true;
+    row.outcome.replayed_instructions = 19'000;
+    row.outcome.checker_compute_cycles = 88;
+    row.outcome.stats.stall_forwarding = 17;
+
+    const auto back = serve::parse_response(serve::to_json(row));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->request_index, 7u);
+    EXPECT_EQ(back->repeat, 2u);
+    EXPECT_EQ(back->id, "cli");
+    EXPECT_EQ(back->seed, 1234u);
+    EXPECT_EQ(back->outcome.scenario, row.outcome.scenario);
+    EXPECT_EQ(back->outcome.cycles, row.outcome.cycles);
+    EXPECT_EQ(back->outcome.instructions, row.outcome.instructions);
+    EXPECT_DOUBLE_EQ(back->outcome.ipc, 1.5);
+    EXPECT_TRUE(back->outcome.verified_ok);
+    EXPECT_EQ(back->outcome.replayed_instructions, 19'000u);
+    EXPECT_EQ(back->outcome.checker_compute_cycles, 88u);
+    EXPECT_EQ(back->outcome.stats.stall_forwarding, 17u);
+
+    serve::response_row err_row;
+    err_row.request_index = 3;
+    err_row.error = "unknown workload 'doom'";
+    const auto err_back = serve::parse_response(serve::to_json(err_row));
+    ASSERT_TRUE(err_back.has_value());
+    EXPECT_EQ(err_back->request_index, 3u);
+    EXPECT_EQ(err_back->error, "unknown workload 'doom'");
+
+    std::string parse_error;
+    EXPECT_FALSE(serve::parse_response("garbage", &parse_error).has_value());
+    EXPECT_FALSE(parse_error.empty());
+}
+
+// ------------------------------------------------------------------ cache ---
+
+TEST(workload_cache, counts_hits_misses_and_shares_one_generation) {
+    serve::workload_cache cache(8);
+    const workload_profile& p = *find_profile("hmmer");
+
+    const auto a = cache.workload_for(p, 10'000, 1);
+    const auto b = cache.workload_for(p, 10'000, 1);
+    const auto c = cache.workload_for(p, 10'000, 2);  // different seed: miss
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a.get(), b.get()) << "same key must return the same program";
+    EXPECT_NE(a.get(), c.get());
+
+    const serve::workload_cache_stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_DOUBLE_EQ(s.hit_rate(), 1.0 / 3.0);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(workload_cache, is_content_addressed_not_name_addressed) {
+    const workload_profile& base = *find_profile("hmmer");
+    workload_profile tweaked = base;
+    tweaked.div_frac += 0.01;  // same name, different generated program
+
+    EXPECT_NE(profile_fingerprint(base), profile_fingerprint(tweaked));
+
+    serve::workload_cache cache(8);
+    const auto a = cache.workload_for(base, 10'000, 1);
+    const auto b = cache.workload_for(tweaked, 10'000, 1);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.stats().misses, 2u) << "tweaked profile must not hit stale entry";
+}
+
+TEST(workload_cache, lru_eviction_keeps_recently_used_entries) {
+    serve::workload_cache cache(2);
+    const workload_profile& p = *find_profile("hmmer");
+
+    cache.workload_for(p, 10'000, 1);  // miss -> {1}
+    cache.workload_for(p, 10'000, 2);  // miss -> {2,1}
+    cache.workload_for(p, 10'000, 1);  // hit  -> {1,2}
+    cache.workload_for(p, 10'000, 3);  // miss, evicts 2 -> {3,1}
+    cache.workload_for(p, 10'000, 1);  // hit (survived as MRU)
+    cache.workload_for(p, 10'000, 2);  // miss (was evicted)
+
+    const serve::workload_cache_stats s = cache.stats();
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(s.evictions, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(workload_cache, capacity_zero_disables_caching_but_still_counts) {
+    serve::workload_cache cache(0);
+    const workload_profile& p = *find_profile("hmmer");
+    const auto a = cache.workload_for(p, 10'000, 1);
+    const auto b = cache.workload_for(p, 10'000, 1);
+    ASSERT_NE(a, nullptr);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+TEST(workload_cache, cached_program_is_identical_to_direct_generation) {
+    serve::workload_cache cache(4);
+    const workload_profile& p = *find_profile("swaptions");
+    const auto cached = cache.workload_for(p, 12'000, 9);
+    const generated_workload direct = generate_workload(p, 12'000, 9);
+    ASSERT_EQ(cached->prog.text.size(), direct.prog.text.size());
+    for (std::size_t i = 0; i < direct.prog.text.size(); ++i) {
+        EXPECT_EQ(cached->prog.text[i], direct.prog.text[i]) << "instr " << i;
+    }
+    EXPECT_EQ(cached->expected_dynamic_instructions,
+              direct.expected_dynamic_instructions);
+}
+
+// ---------------------------------------------------------------- service ---
+
+std::vector<std::string> mixed_batch() {
+    std::vector<std::string> lines;
+    for (const char* w : {"hmmer", "blackscholes"}) {
+        for (const char* s :
+             {"vanilla", "meek/f2/opt/4", "meek/f2/opt/2", "meek/axi/def/4"}) {
+            lines.push_back(std::string(R"({"scenario":")") + s +
+                            R"(","workload":")" + w +
+                            R"(","instructions":8000,"seed":3})");
+        }
+    }
+    return lines;
+}
+
+std::string rows_to_text(const std::vector<serve::response_row>& rows) {
+    std::string out;
+    for (const serve::response_row& row : rows) {
+        out += serve::to_json(row);
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(serve_service, batches_are_byte_identical_across_thread_counts) {
+    const std::vector<std::string> lines = mixed_batch();
+    serve::service one({.threads = 1});
+    serve::service four({.threads = 4});
+    const std::string a = rows_to_text(one.evaluate(lines));
+    const std::string b = rows_to_text(four.evaluate(lines));
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(serve_service, cache_on_and_off_produce_identical_outcomes) {
+    const std::vector<std::string> lines = mixed_batch();
+    serve::service cached({.threads = 2, .cache_capacity = 32});
+    serve::service uncached({.threads = 2, .cache_capacity = 0});
+    EXPECT_EQ(rows_to_text(cached.evaluate(lines)),
+              rows_to_text(uncached.evaluate(lines)));
+    // 8 jobs over 2 distinct (profile, instructions, seed) points.
+    EXPECT_EQ(cached.cache().stats().misses, 2u);
+    EXPECT_EQ(cached.cache().stats().hits, 6u);
+    EXPECT_EQ(uncached.cache().stats().hits, 0u);
+}
+
+TEST(serve_service, error_rows_keep_their_slot_and_good_requests_still_run) {
+    std::vector<std::string> lines = {
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000})",
+        R"(}{ not json)",
+        R"({"scenario":"vanilla","workload":"doom"})",
+        R"({"id":"ok2","scenario":"meek/f2/opt/2","workload":"hmmer","instructions":6000})",
+    };
+    serve::service svc({.threads = 2});
+    serve::batch_stats stats;
+    const std::vector<serve::response_row> rows = svc.evaluate(lines, &stats);
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_TRUE(rows[0].error.empty());
+    EXPECT_EQ(rows[0].outcome.scenario, "vanilla");
+    EXPECT_EQ(rows[1].request_index, 1u);
+    EXPECT_NE(rows[1].error.find("bad json"), std::string::npos);
+    EXPECT_NE(rows[2].error.find("unknown workload"), std::string::npos);
+    EXPECT_TRUE(rows[3].error.empty());
+    EXPECT_EQ(rows[3].id, "ok2");
+    EXPECT_GT(rows[3].outcome.cycles, 0u);
+    EXPECT_EQ(stats.requests, 4u);
+    EXPECT_EQ(stats.rows, 4u);
+    EXPECT_EQ(stats.errors, 2u);
+    EXPECT_EQ(stats.jobs, 2u);
+}
+
+TEST(serve_service, repeats_fan_out_into_derived_seeds_in_order) {
+    const std::vector<std::string> lines = {
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":11,"repeats":3})",
+    };
+    serve::service svc({.threads = 2});
+    const std::vector<serve::response_row> rows = svc.evaluate(lines);
+    ASSERT_EQ(rows.size(), 3u);
+    for (u64 r = 0; r < 3; ++r) {
+        EXPECT_EQ(rows[r].request_index, 0u);
+        EXPECT_EQ(rows[r].repeat, r);
+        EXPECT_EQ(rows[r].seed, r == 0 ? 11u : sim::derive_stream_seed(11, r));
+    }
+    // Distinct workload instances: the repeats are not one simulation echoed.
+    EXPECT_NE(rows[0].outcome.cycles, rows[1].outcome.cycles);
+}
+
+TEST(serve_service, stream_mode_frames_batches_on_blank_lines) {
+    const std::string input =
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000})"
+        "\n\n"
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":2})"
+        "\n";
+    std::istringstream in(input);
+    std::ostringstream out;
+    serve::service svc({.threads = 2});
+    const serve::batch_stats stats = svc.serve_stream(in, out);
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.rows, 2u);
+    EXPECT_EQ(stats.errors, 0u);
+
+    // Two rows, each a parseable response for request index 0 of its batch.
+    std::istringstream rows_in(out.str());
+    std::string line;
+    int n = 0;
+    while (std::getline(rows_in, line)) {
+        const auto row = serve::parse_response(line);
+        ASSERT_TRUE(row.has_value()) << line;
+        EXPECT_EQ(row->request_index, 0u);
+        ++n;
+    }
+    EXPECT_EQ(n, 2);
+}
+
+}  // namespace
+}  // namespace meek

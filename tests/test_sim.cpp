@@ -60,6 +60,29 @@ TEST(executor, throwing_job_neither_deadlocks_nor_poisons_the_pool) {
     EXPECT_EQ(after[3], 6u);
 }
 
+TEST(executor, per_job_wall_time_feeds_the_timing_summary) {
+    sim::executor ex(2);
+    EXPECT_EQ(ex.timing().jobs, 0u);
+
+    ex.run_indexed(6, 0, [](const sim::job_context& ctx) {
+        // Unequal shard lengths: make skew observable in the summary.
+        volatile u64 acc = 0;
+        for (u64 i = 0; i < 20'000 * (ctx.index + 1); ++i) acc = acc + i;
+        return acc;
+    });
+
+    const sim::executor_timing t = ex.timing();
+    EXPECT_EQ(t.jobs, 6u);
+    EXPECT_GE(t.min_ms, 0.0);
+    EXPECT_LE(t.min_ms, t.mean_ms);
+    EXPECT_LE(t.mean_ms, t.max_ms);
+    EXPECT_GE(t.total_ms, t.max_ms);
+
+    ex.reset_timing();
+    EXPECT_EQ(ex.timing().jobs, 0u);
+    EXPECT_EQ(ex.timing().total_ms, 0.0);
+}
+
 TEST(executor, thread_count_resolution_prefers_explicit_request) {
     EXPECT_EQ(sim::resolve_thread_count(3), 3u);
     EXPECT_GE(sim::resolve_thread_count(0), 1u);

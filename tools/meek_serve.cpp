@@ -1,0 +1,106 @@
+// meek_serve — the batched multi-SoC evaluation daemon.
+//
+// Modes:
+//   meek_serve                      stdin/stdout loop: each blank-line-
+//                                   terminated group of NDJSON request lines
+//                                   is one batch; rows stream back per batch.
+//   meek_serve --requests FILE      one-shot: serve every batch in FILE,
+//                                   then exit.
+//
+// Options:
+//   --threads N          worker threads (default: MEEK_THREADS / hardware)
+//   --cache-capacity N   workload cache entries (default 64; 0 disables)
+//   --quiet              suppress the stderr session summary
+//
+// stdout carries only response rows — byte-identical for a given input at
+// any thread count — so it can be diffed against golden expectations; the
+// session summary (cache hit rate, job timing) goes to stderr.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/service.h"
+
+using namespace meek;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--requests FILE] [--threads N] [--cache-capacity N] "
+                 "[--quiet]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string requests_file;
+    serve::service_options opts;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--requests") {
+            requests_file = next_value("--requests");
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<u32>(std::strtoul(next_value("--threads"), nullptr, 10));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            opts.threads = static_cast<u32>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+        } else if (arg == "--cache-capacity") {
+            opts.cache_capacity = std::strtoul(next_value("--cache-capacity"), nullptr, 10);
+        } else if (arg.rfind("--cache-capacity=", 0) == 0) {
+            opts.cache_capacity = std::strtoul(arg.c_str() + 17, nullptr, 10);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    serve::service svc(opts);
+    serve::batch_stats stats;
+
+    if (!requests_file.empty()) {
+        std::ifstream in(requests_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot open requests file '%s'\n",
+                         requests_file.c_str());
+            return 1;
+        }
+        stats = svc.serve_stream(in, std::cout);
+    } else {
+        stats = svc.serve_stream(std::cin, std::cout);
+    }
+
+    if (!quiet) {
+        const serve::workload_cache_stats cs = svc.cache().stats();
+        const sim::executor_timing t = svc.pool().timing();
+        std::fprintf(stderr,
+                     "# requests=%llu rows=%llu errors=%llu jobs=%llu threads=%u\n"
+                     "# cache: hits=%llu misses=%llu evictions=%llu hit_rate=%.1f%%\n"
+                     "# job wall-time ms: min=%.2f mean=%.2f max=%.2f total=%.2f\n",
+                     static_cast<unsigned long long>(stats.requests),
+                     static_cast<unsigned long long>(stats.rows),
+                     static_cast<unsigned long long>(stats.errors),
+                     static_cast<unsigned long long>(stats.jobs),
+                     svc.pool().num_threads(),
+                     static_cast<unsigned long long>(cs.hits),
+                     static_cast<unsigned long long>(cs.misses),
+                     static_cast<unsigned long long>(cs.evictions),
+                     100.0 * cs.hit_rate(), t.min_ms, t.mean_ms, t.max_ms,
+                     t.total_ms);
+    }
+    return 0;
+}

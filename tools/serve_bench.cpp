@@ -1,0 +1,136 @@
+// serve_bench — client-side driver for the evaluation service: builds a
+// mixed request batch (several scenarios over several workload profiles),
+// pushes it through an in-process serve::service, and reports end-to-end
+// request throughput, simulated-instruction throughput, workload-cache hit
+// rate, and per-job wall-time skew.
+//
+// The service is driven through its real wire interface (serialized NDJSON
+// in, parsed NDJSON out), so the measured path includes protocol encode +
+// decode, not just the simulator.
+//
+// Options:
+//   --requests N       total requests in the batch (default 100)
+//   --instructions N   dynamic length per evaluation (default 20000)
+//   --threads N        worker threads (default: MEEK_THREADS / hardware)
+//   --no-cache         disable the workload cache (capacity 0) for A/B runs
+//   --seed N           workload seed the batch shares (default 7)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/service.h"
+
+using namespace meek;
+
+int main(int argc, char** argv) {
+    u64 num_requests = 100;
+    u64 instructions = 20'000;
+    u64 seed = 7;
+    serve::service_options opts;
+    bool use_cache = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char* flag) -> u64 {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return std::strtoull(argv[++i], nullptr, 10);
+        };
+        if (arg == "--requests") {
+            num_requests = value("--requests");
+        } else if (arg == "--instructions") {
+            instructions = value("--instructions");
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<u32>(value("--threads"));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            opts.threads = static_cast<u32>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+        } else if (arg == "--seed") {
+            seed = value("--seed");
+        } else if (arg == "--no-cache") {
+            use_cache = false;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--requests N] [--instructions N] [--threads N] "
+                         "[--seed N] [--no-cache]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (!use_cache) opts.cache_capacity = 0;
+
+    // The mixed batch: vanilla + an EA-LockStep point + four MEEK configs,
+    // round-robined over profiles that stress different parts of the model
+    // (integer, pointer-chasing, FP, divider-heavy).
+    const std::vector<std::string> scenarios = {
+        "vanilla",        "meek/f2/opt/4", "meek/f2/opt/2",
+        "meek/axi/def/4", "meek/f2/def/6", "ea-lockstep",
+    };
+    const std::vector<std::string> workloads = {"hmmer", "mcf", "blackscholes",
+                                                "swaptions"};
+
+    std::ostringstream batch;
+    for (u64 i = 0; i < num_requests; ++i) {
+        serve::run_request req;
+        req.id = "r" + std::to_string(i);
+        req.scenario = scenarios[i % scenarios.size()];
+        req.workload = workloads[(i / scenarios.size()) % workloads.size()];
+        req.instructions = instructions;
+        req.seed = seed;
+        batch << serve::to_json(req) << '\n';
+    }
+
+    serve::service svc(opts);
+    std::istringstream in(batch.str());
+    std::ostringstream out;
+
+    const auto start = std::chrono::steady_clock::now();
+    const serve::batch_stats stats = svc.serve_stream(in, out);
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    // Parse the rows back (the client half of the protocol) and aggregate.
+    u64 rows = 0, errors = 0, simulated_instructions = 0;
+    {
+        std::istringstream rows_in(out.str());
+        std::string line;
+        while (std::getline(rows_in, line)) {
+            std::string err;
+            const auto row = serve::parse_response(line, &err);
+            if (!row) {
+                std::fprintf(stderr, "bad response row: %s\n", err.c_str());
+                return 1;
+            }
+            ++rows;
+            if (!row->error.empty()) {
+                ++errors;
+            } else {
+                simulated_instructions += row->outcome.instructions;
+            }
+        }
+    }
+
+    const serve::workload_cache_stats cs = svc.cache().stats();
+    const sim::executor_timing t = svc.pool().timing();
+    std::printf("serve_bench: %llu requests -> %llu rows (%llu errors) in %.3f s\n",
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(rows),
+                static_cast<unsigned long long>(errors), elapsed_s);
+    std::printf("  throughput: %.1f requests/s, %.2f Minstr/s simulated (%u threads)\n",
+                elapsed_s > 0 ? static_cast<double>(stats.requests) / elapsed_s : 0.0,
+                elapsed_s > 0 ? static_cast<double>(simulated_instructions) / elapsed_s / 1e6
+                              : 0.0,
+                svc.pool().num_threads());
+    std::printf("  cache: %llu hits / %llu lookups (%.1f%% hit rate), %llu evictions\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.lookups()), 100.0 * cs.hit_rate(),
+                static_cast<unsigned long long>(cs.evictions));
+    std::printf("  job wall-time ms: min %.2f mean %.2f max %.2f total %.2f\n",
+                t.min_ms, t.mean_ms, t.max_ms, t.total_ms);
+    return errors == 0 ? 0 : 1;
+}
