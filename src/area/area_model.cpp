@@ -63,10 +63,22 @@ double area_model::little_core_area(const little_core_config& cfg) const {
     return pipeline + l1i + misc + divider + fpu;
 }
 
+double area_model::fabric_area(const fabric_config& cfg) const {
+    if (cfg.kind == fabric_kind::axi_interconnect) return 0.040;
+    // 0.027 mm² of links + HM-NoC routing, 0.024 mm² of DC-Buffer SRAM at the
+    // default depth of 16.
+    return 0.027 + 0.024 * (static_cast<double>(cfg.dc_buffer_depth) / 16.0);
+}
+
+double area_model::little_wrapper_area(const little_core_config& cfg) const {
+    // 0.025 mm² MSU + 0.034 mm² of LSL SRAM at the 4 KB default.
+    return 0.025 + 0.034 * (static_cast<double>(cfg.lsl_bytes) / 4096.0);
+}
+
 double area_model::meek_extra_area(const soc_config& cfg) const {
-    return deu_area() + f2_area() +
+    return deu_area() + fabric_area(cfg.fabric) +
            cfg.num_little_cores *
-               (little_core_area(cfg.little) + little_wrapper_area());
+               (little_core_area(cfg.little) + little_wrapper_area(cfg.little));
 }
 
 double area_model::meek_overhead_fraction(const soc_config& cfg) const {

@@ -37,6 +37,18 @@ public:
     double f2_area() const { return 0.051; }
     double little_wrapper_area() const { return 0.059; }  // LSL + MSU
 
+    // Config-aware variants for the off-registry knobs the design-space search
+    // sweeps. Both are anchored so the Table II defaults reproduce the Table
+    // III constants above exactly.
+    //
+    // Fabric: the F2's DC-Buffers are the dominant SRAM; their share scales
+    // linearly with the per-FIFO depth (0.051 mm² at depth 16). The AXI
+    // baseline is a fixed shared bus with no DC-Buffers or NoC nodes.
+    double fabric_area(const fabric_config& cfg) const;
+    // Wrapper: a fixed MSU part plus the LSL SRAM, linear in lsl_bytes
+    // (0.059 mm² at the 4 KB default).
+    double little_wrapper_area(const little_core_config& cfg) const;
+
     // Everything MEEK adds on top of the bare big core.
     double meek_extra_area(const soc_config& cfg) const;
     // Extra area as a fraction of the big core (the paper's 25.8%).

@@ -1,11 +1,42 @@
-// Bit-manipulation helpers used by the ISA encoder, caches and fault injector.
+// Bit-manipulation helpers used by the ISA encoder, caches and fault
+// injector, plus the FNV-1a folder every content fingerprint in the tree is
+// built on (workload profiles, soc configs, run specs, checkpoint headers).
 #pragma once
 
 #include <bit>
+#include <cstddef>
+#include <cstring>
+#include <string>
 
 #include "common/types.h"
 
 namespace meek {
+
+// FNV-1a, folded over strings and the raw bit patterns of numeric fields so
+// that any observable difference between two values changes the hash. One
+// shared implementation: fingerprints computed in different layers stay
+// mutually consistent by construction.
+struct fnv1a {
+    u64 h = 0xcbf29ce484222325ULL;
+
+    void bytes(const void* data, std::size_t n) {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ULL;
+        }
+    }
+    void str(const std::string& s) {
+        bytes(s.data(), s.size());
+        bytes("\0", 1);  // length delimiter: ("ab","c") != ("a","bc")
+    }
+    void f64(double v) {
+        u64 bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        bytes(&bits, sizeof bits);
+    }
+    void u(u64 v) { bytes(&v, sizeof v); }
+};
 
 // Mask with the low `n` bits set; n == 64 yields all-ones.
 constexpr u64 mask64(unsigned n) {

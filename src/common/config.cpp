@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bits.h"
+
 namespace meek {
 namespace {
 
@@ -50,6 +52,75 @@ big_core_config big_core_config::scaled(double factor) const {
     s.l2 = scale_cache(l2, factor);
     s.llc = scale_cache(llc, factor);
     return s;
+}
+
+u64 soc_config_fingerprint(const soc_config& cfg) {
+    fnv1a h;
+    auto mix_cache = [&h](const cache_config& c) {
+        h.u(c.size_bytes);
+        h.u(c.ways);
+        h.u(c.line_bytes);
+        h.u(c.mshrs);
+        h.u(c.hit_latency);
+    };
+
+    const big_core_config& b = cfg.big;
+    h.u(b.freq_mhz);
+    h.u(b.fetch_width);
+    h.u(b.decode_width);
+    h.u(b.commit_width);
+    h.u(b.rob_entries);
+    h.u(b.iq_entries);
+    h.u(b.ldq_entries);
+    h.u(b.stq_entries);
+    h.u(b.phys_int_regs);
+    h.u(b.phys_fp_regs);
+    h.u(b.int_alus);
+    h.u(b.fp_alus);
+    h.u(b.mem_ports);
+    h.u(b.jump_units);
+    h.u(b.csr_units);
+    h.u(b.front_end_stages);
+    h.u(b.bpred.btb_entries);
+    h.u(b.bpred.ras_entries);
+    h.u(b.bpred.tage_tables);
+    h.u(b.bpred.tage_min_history);
+    h.u(b.bpred.tage_max_history);
+    h.u(b.bpred.tage_entries_per_table);
+    h.u(b.bpred.tage_tag_bits);
+    mix_cache(b.l1i);
+    mix_cache(b.l1d);
+    mix_cache(b.l2);
+    mix_cache(b.llc);
+    h.u(b.dram.size_bytes);
+    h.u(b.dram.freq_mhz);
+    h.u(b.dram.max_requests);
+    h.u(b.dram.access_latency);
+    h.u(b.dram.row_hit_latency);
+    h.u(b.dram.row_bytes);
+
+    const little_core_config& l = cfg.little;
+    h.u(l.freq_mhz);
+    h.u(static_cast<u64>(l.tuning));
+    h.u(l.div_unroll_override);
+    h.u(l.freq_override_mhz);
+    mix_cache(l.l1i);
+    mix_cache(l.l1d);
+    h.u(l.lsl_bytes);
+    h.u(l.lsl_entry_bytes);
+    h.u(l.rcp_instruction_timeout);
+
+    const fabric_config& f = cfg.fabric;
+    h.u(static_cast<u64>(f.kind));
+    h.u(f.freq_mhz);
+    h.u(f.f2_packets_per_cycle);
+    h.u(f.f2_link_bits);
+    h.u(f.axi_bits);
+    h.u(f.dc_buffer_depth);
+    h.u(f.node_queue_depth);
+
+    h.u(cfg.num_little_cores);
+    return h.h;
 }
 
 }  // namespace meek

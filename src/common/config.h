@@ -80,6 +80,14 @@ struct little_core_config {
     u64 freq_mhz = 1600;
     little_core_tuning tuning = little_core_tuning::optimized;
 
+    // Off-registry sweep knobs (design-space search): when nonzero, the
+    // divider retires `div_unroll_override` quotient bits per cycle and the
+    // checker cores clock at `freq_override_mhz`, regardless of the tuning
+    // package. Zero keeps the tuning default (8-unroll / 2 GHz optimized,
+    // 1-bit / 1.6 GHz default Rocket).
+    u32 div_unroll_override = 0;
+    u64 freq_override_mhz = 0;
+
     // The optimization package (deeper, fully-pipelined FPU; 8-unroll
     // divider) is what closes timing at 2 GHz — Table III clocks MEEK's
     // Rockets at 2 GHz vs the default 1.6 GHz. The SoC-level evaluation
@@ -89,9 +97,18 @@ struct little_core_config {
         return tuning == little_core_tuning::optimized ? 2000 : 1600;
     }
 
+    // The clock the SoC actually runs the checker cores at: the explicit
+    // override when set, else the tuning's achievable clock.
+    u64 effective_freq_mhz() const {
+        return freq_override_mhz != 0 ? freq_override_mhz : achievable_freq_mhz();
+    }
+
     // Divider retires `div_unroll` quotient bits per cycle; default Rocket is
     // a 1-bit/cycle iterative divider.
-    u32 div_unroll() const { return tuning == little_core_tuning::optimized ? 8 : 1; }
+    u32 div_unroll() const {
+        if (div_unroll_override != 0) return div_unroll_override;
+        return tuning == little_core_tuning::optimized ? 8 : 1;
+    }
     u32 div_latency() const { return 64 / div_unroll() + 2; }
 
     u32 mul_latency() const { return 3; }
@@ -134,5 +151,13 @@ struct soc_config {
 
     static soc_config table2_default() { return {}; }
 };
+
+// Content hash over every behaviour-shaping knob of a soc_config (big core
+// incl. caches/predictor/DRAM, little core incl. LSL and divider override,
+// fabric depths, core count). Two configs that could simulate differently
+// never share a fingerprint; a config rebuilt from the same knobs always
+// does. This is what lets result caches and search checkpoints be
+// content-addressed rather than name-addressed.
+u64 soc_config_fingerprint(const soc_config& cfg);
 
 }  // namespace meek

@@ -145,39 +145,27 @@ campaign_result run_or_resume_shard(const soc_config& soc_cfg, const program& pr
 }  // namespace
 
 u64 campaign_context_fingerprint(const soc_config& soc_cfg, const program& prog) {
-    // FNV-1a over the program image and the soc knobs that shape a campaign:
-    // any difference in the code under test, its data, or the checked system
-    // must invalidate a checkpoint.
-    u64 h = 0xcbf29ce484222325ULL;
-    auto mix = [&h](u64 v) {
-        for (int i = 0; i < 8; ++i) {
-            h ^= (v >> (8 * i)) & 0xFF;
-            h *= 0x100000001b3ULL;
-        }
-    };
-    mix(prog.text_base);
-    mix(prog.entry);
-    mix(prog.text.size());
+    // FNV-1a over the program image and the full soc configuration: any
+    // difference in the code under test, its data, or the checked system —
+    // including design-space knobs like LSL size or DC-Buffer depth, which
+    // change detection timing — must invalidate a checkpoint.
+    fnv1a h;
+    h.u(prog.text_base);
+    h.u(prog.entry);
+    h.u(prog.text.size());
     for (const instr& ins : prog.text) {
-        mix(static_cast<u64>(ins.op));
-        mix((u64{ins.rd} << 24) | (u64{ins.rs1} << 16) | (u64{ins.rs2} << 8) |
+        h.u(static_cast<u64>(ins.op));
+        h.u((u64{ins.rd} << 24) | (u64{ins.rs1} << 16) | (u64{ins.rs2} << 8) |
             u64{ins.rs3});
-        mix(static_cast<u64>(static_cast<i64>(ins.imm)));
+        h.u(static_cast<u64>(static_cast<i64>(ins.imm)));
     }
     for (const data_blob& blob : prog.data) {
-        mix(blob.base);
-        mix(blob.bytes.size());
-        for (const u8 b : blob.bytes) {
-            h ^= b;
-            h *= 0x100000001b3ULL;
-        }
+        h.u(blob.base);
+        h.u(blob.bytes.size());
+        h.bytes(blob.bytes.data(), blob.bytes.size());
     }
-    mix(soc_cfg.big.freq_mhz);
-    mix(soc_cfg.num_little_cores);
-    mix(static_cast<u64>(soc_cfg.fabric.kind));
-    mix(static_cast<u64>(soc_cfg.little.tuning));
-    mix(soc_cfg.little.freq_mhz);
-    return h;
+    h.u(soc_config_fingerprint(soc_cfg));
+    return h.h;
 }
 
 campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& prog,
@@ -218,8 +206,17 @@ campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& pro
                                    cfg.shard_warmup_instructions, ckpt_path(0));
     }
 
+    // Hint shard costs by fault count: every shard but the last carries
+    // `per_shard` faults, so the short tail shard is submitted last.
+    std::vector<double> shard_costs;
+    shard_costs.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+        const u32 first = static_cast<u32>(i) * per_shard;
+        shard_costs.push_back(std::min(per_shard, cfg.num_faults - first));
+    }
     std::vector<campaign_result> partials = ex.run_indexed(
-        shards, cfg.seed, [&](const sim::job_context& ctx) {
+        shards, cfg.seed,
+        [&](const sim::job_context& ctx) {
             fault_campaign_config shard_cfg = cfg;
             shard_cfg.seed = ctx.stream_seed;
             const u32 first = static_cast<u32>(ctx.index) * per_shard;
@@ -228,7 +225,8 @@ campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& pro
                                        context, shard_limits(shard_cfg),
                                        cfg.shard_warmup_instructions,
                                        ckpt_path(ctx.index));
-        });
+        },
+        shard_costs);
 
     campaign_result merged;
     for (campaign_result& p : partials) {

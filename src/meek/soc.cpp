@@ -29,8 +29,9 @@ meek_soc::meek_soc(const soc_config& cfg)
         [this](u32 core, const fwd_packet& p) { return littles_[core]->deliver(p); });
     // Table III clocks the optimized Rockets at 2 GHz (the deeper FPU
     // pipeline and unrolled divider close timing); the fabric stays in the
-    // 1.6 GHz domain of Fig. 2.
-    little_freq_mhz_ = cfg.little.achievable_freq_mhz();
+    // 1.6 GHz domain of Fig. 2. An explicit freq_override_mhz (design-space
+    // sweeps) takes precedence over the tuning's achievable clock.
+    little_freq_mhz_ = cfg.little.effective_freq_mhz();
 }
 
 void meek_soc::load_program(const program& prog) {

@@ -1,0 +1,26 @@
+#include "search/pareto.h"
+
+namespace meek::search {
+
+bool dominates(const objectives& a, const objectives& b) {
+    if (a.area_mm2 > b.area_mm2 || a.slowdown > b.slowdown ||
+        a.coverage < b.coverage) {
+        return false;
+    }
+    return a.area_mm2 < b.area_mm2 || a.slowdown < b.slowdown ||
+           a.coverage > b.coverage;
+}
+
+std::vector<std::size_t> pareto_frontier(std::span<const objectives> rows) {
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < rows.size() && !dominated; ++j) {
+            dominated = j != i && dominates(rows[j], rows[i]);
+        }
+        if (!dominated) frontier.push_back(i);
+    }
+    return frontier;
+}
+
+}  // namespace meek::search

@@ -1,0 +1,32 @@
+// Pareto-frontier reduction over the three objectives the paper's trade
+// space navigates: added silicon (minimize), slowdown vs the vanilla big core
+// (minimize), and error-detection coverage (maximize).
+//
+// The reducer is a pure function of its input sequence — no RNG, no
+// scheduling dependence — so a frontier computed over deterministic
+// measurements is bit-identical at any thread count. Ties are not dominance:
+// rows with identical objective vectors are all kept (their *names* differ;
+// dropping one would make the frontier depend on enumeration accidents).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace meek::search {
+
+struct objectives {
+    double area_mm2 = 0.0;  // silicon added on top of the vanilla big core
+    double slowdown = 1.0;  // cycles / vanilla cycles
+    double coverage = 0.0;  // fraction of injected faults detected
+};
+
+// a dominates b: no worse on every objective, strictly better on at least
+// one. (area/slowdown: lower is better; coverage: higher is better.)
+bool dominates(const objectives& a, const objectives& b);
+
+// Indices of the non-dominated rows, ascending (input order). O(n²), which is
+// exact and more than fast enough for design-space universes.
+std::vector<std::size_t> pareto_frontier(std::span<const objectives> rows);
+
+}  // namespace meek::search

@@ -22,7 +22,9 @@ bool is_blank(std::string_view line) {
 }  // namespace
 
 service::service(const service_options& opts)
-    : cache_(opts.cache_capacity), pool_(opts.threads) {}
+    : cache_(opts.cache_capacity),
+      outcomes_(opts.outcome_capacity),
+      pool_(opts.threads) {}
 
 std::vector<response_row> service::evaluate(const std::vector<std::string>& lines,
                                             batch_stats* stats) {
@@ -65,8 +67,15 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
         }
     }
 
-    // Phase 2: fan the jobs out; results return in spec order.
-    const std::vector<sim::run_outcome> outcomes = sim::execute_all(pool_, specs);
+    // Phase 2: fan the jobs out — longest spec first, through the completed-
+    // result cache so a repeated identical evaluation is free; results return
+    // in spec order.
+    const std::vector<sim::run_outcome> outcomes = pool_.map(
+        specs, /*base_seed=*/0,
+        [this](const sim::run_spec& spec, const sim::job_context&) {
+            return outcomes_.outcome_for(spec);
+        },
+        [](const sim::run_spec& spec) { return sim::cost_hint(spec); });
 
     // Phase 3: merge outcomes back into their slots.
     std::vector<response_row> rows;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/outcome_cache.h"
 #include "serve/protocol.h"
 #include "serve/workload_cache.h"
 #include "sim/executor.h"
@@ -27,6 +28,7 @@ namespace meek::serve {
 struct service_options {
     u32 threads = 0;                  // 0 => MEEK_THREADS / hardware_concurrency
     std::size_t cache_capacity = 64;  // workload cache entries; 0 disables caching
+    std::size_t outcome_capacity = 256;  // completed-result cache; 0 disables
 };
 
 struct batch_stats {
@@ -55,10 +57,12 @@ public:
     batch_stats serve_stream(std::istream& in, std::ostream& out);
 
     const workload_cache& cache() const { return cache_; }
+    const outcome_cache& outcomes() const { return outcomes_; }
     sim::executor& pool() { return pool_; }
 
 private:
     workload_cache cache_;
+    outcome_cache outcomes_;
     sim::executor pool_;
 };
 

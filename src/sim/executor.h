@@ -15,6 +15,7 @@
 // draining the queue.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -22,6 +23,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <numeric>
+#include <span>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -90,25 +93,40 @@ public:
     // returns — including when one throws — so by-reference captures of
     // caller locals can never outlive the call; the lowest-index exception is
     // rethrown after the drain.
+    //
+    // `cost_hints` (optional; size must equal `count` when nonempty) sorts
+    // submission order longest-hint-first so a batch of unequal jobs does not
+    // end on one straggler the other workers idle behind. Hints reorder
+    // *scheduling only*: stream seeds and result order are functions of the
+    // job index, so hinted and unhinted batches are bit-identical.
     template <class Fn>
-    auto run_indexed(std::size_t count, u64 base_seed, Fn fn)
+    auto run_indexed(std::size_t count, u64 base_seed, Fn fn,
+                     std::span<const double> cost_hints = {})
         -> std::vector<std::invoke_result_t<Fn&, const job_context&>> {
         using result_t = std::invoke_result_t<Fn&, const job_context&>;
-        std::vector<std::future<result_t>> futures;
-        futures.reserve(count);
-        for (std::size_t i = 0; i < count; ++i) {
+        std::vector<std::size_t> order(count);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        if (cost_hints.size() == count) {
+            // Stable: equal-cost jobs keep submission-index order.
+            std::stable_sort(order.begin(), order.end(),
+                             [cost_hints](std::size_t a, std::size_t b) {
+                                 return cost_hints[a] > cost_hints[b];
+                             });
+        }
+        std::vector<std::future<result_t>> futures(count);
+        for (const std::size_t i : order) {
             const job_context ctx{i, derive_stream_seed(base_seed, i)};
             // Each job's body is wall-clock timed into the pool's summary —
             // purely diagnostic, never fed back into results, so determinism
             // holds.
-            futures.push_back(submit([this, fn, ctx] {
+            futures[i] = submit([this, fn, ctx] {
                 const auto start = std::chrono::steady_clock::now();
                 result_t result = fn(ctx);
                 note_job_ms(std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - start)
                                 .count());
                 return result;
-            }));
+            });
         }
         std::vector<result_t> results;
         results.reserve(count);
@@ -132,6 +150,20 @@ public:
         return run_indexed(items.size(), base_seed, [&items, fn](const job_context& ctx) {
             return fn(items[ctx.index], ctx);
         });
+    }
+
+    // map with a per-item cost hint (hint_of: const Item& -> double); the
+    // batch is submitted longest-first, results stay in item order.
+    template <class Item, class Fn, class HintOf>
+    auto map(const std::vector<Item>& items, u64 base_seed, Fn fn, HintOf hint_of)
+        -> std::vector<std::invoke_result_t<Fn&, const Item&, const job_context&>> {
+        std::vector<double> hints;
+        hints.reserve(items.size());
+        for (const Item& item : items) hints.push_back(hint_of(item));
+        return run_indexed(
+            items.size(), base_seed,
+            [&items, fn](const job_context& ctx) { return fn(items[ctx.index], ctx); },
+            hints);
     }
 
 private:

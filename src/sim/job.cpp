@@ -1,6 +1,7 @@
 #include "sim/job.h"
 
 #include "area/area_model.h"
+#include "common/bits.h"
 #include "baselines/nzdc.h"
 #include "bigcore/ooo_core.h"
 #include "mem/functional_memory.h"
@@ -86,8 +87,29 @@ run_outcome execute(const run_spec& spec) {
 }
 
 std::vector<run_outcome> execute_all(executor& ex, const std::vector<run_spec>& specs) {
-    return ex.map(specs, /*base_seed=*/0,
-                  [](const run_spec& spec, const job_context&) { return execute(spec); });
+    return ex.map(
+        specs, /*base_seed=*/0,
+        [](const run_spec& spec, const job_context&) { return execute(spec); },
+        [](const run_spec& spec) { return cost_hint(spec); });
+}
+
+u64 run_spec_fingerprint(const run_spec& spec) {
+    const soc_config cfg = spec.soc_override ? *spec.soc_override : spec.sc.soc();
+    fnv1a h;
+    h.u(static_cast<u64>(spec.sc.system));
+    h.u(soc_config_fingerprint(cfg));
+    h.u(profile_fingerprint(spec.workload));
+    h.u(spec.instructions);
+    h.u(spec.workload_seed);
+    return h.h;
+}
+
+double cost_hint(const run_spec& spec) {
+    const double base = static_cast<double>(spec.instructions);
+    if (spec.sc.system != system_kind::meek) return base;
+    const soc_config cfg = spec.soc_override ? *spec.soc_override : spec.sc.soc();
+    // A MEEK job also steps the fabric and every checker core.
+    return base * (1.5 + 0.25 * cfg.num_little_cores);
 }
 
 }  // namespace meek::sim

@@ -58,7 +58,21 @@ struct run_outcome {
 run_outcome execute(const run_spec& spec);
 
 // Fan a batch of specs out across `ex`'s workers; results come back in spec
-// order regardless of scheduling.
+// order regardless of scheduling. Submission is cost-hinted (longest spec
+// first) so mixed batches do not trail off behind one straggler.
 std::vector<run_outcome> execute_all(executor& ex, const std::vector<run_spec>& specs);
+
+// Content hash over everything that determines a spec's outcome: the system
+// kind, the *effective* soc_config (override or registry defaults), the
+// workload profile's content fingerprint, the dynamic length and the seed.
+// Scenario/point *names* are deliberately excluded — two names wrapping the
+// same physical experiment must share a fingerprint, which is what makes an
+// outcome cache content-addressed.
+u64 run_spec_fingerprint(const run_spec& spec);
+
+// Relative wall-clock estimate for scheduling (submission ordering) only:
+// instructions scaled by how many cores the system keeps busy. Never affects
+// results.
+double cost_hint(const run_spec& spec);
 
 }  // namespace meek::sim

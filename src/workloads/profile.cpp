@@ -1,7 +1,8 @@
 #include "workloads/profile.h"
 
 #include <array>
-#include <cstring>
+
+#include "common/bits.h"
 
 namespace meek {
 namespace {
@@ -73,34 +74,6 @@ const workload_profile* find_profile(const std::string& name) {
     }
     return nullptr;
 }
-
-namespace {
-
-// FNV-1a, folded over strings and the raw bit patterns of numeric fields so
-// that any observable difference between two profiles changes the hash.
-struct fnv1a {
-    u64 h = 0xcbf29ce484222325ULL;
-
-    void bytes(const void* data, std::size_t n) {
-        const auto* p = static_cast<const unsigned char*>(data);
-        for (std::size_t i = 0; i < n; ++i) {
-            h ^= p[i];
-            h *= 0x100000001b3ULL;
-        }
-    }
-    void str(const std::string& s) {
-        bytes(s.data(), s.size());
-        bytes("\0", 1);  // length delimiter: ("ab","c") != ("a","bc")
-    }
-    void f64(double v) {
-        u64 bits;
-        std::memcpy(&bits, &v, sizeof bits);
-        bytes(&bits, sizeof bits);
-    }
-    void u(u64 v) { bytes(&v, sizeof v); }
-};
-
-}  // namespace
 
 u64 profile_fingerprint(const workload_profile& p) {
     fnv1a h;

@@ -113,6 +113,40 @@ TEST(campaign, histogram_covers_detected_faults) {
     EXPECT_EQ(h.total(), r.detected);
 }
 
+// Regression for the masked-fault averaging audit: every latency aggregate
+// must be computed over detected faults only. A masked fault carries no
+// latency, and folding it in as zero would drag every mean/percentile down —
+// exactly the bug latency_cycles() returning optional is meant to prevent.
+TEST(campaign, masked_faults_never_enter_latency_aggregates) {
+    campaign_result r;
+    fault_record fast;
+    fast.detected = true;
+    fast.inject_big_cycle = 1'000;
+    fast.detect_big_cycle = 1'320;  // 320 cycles = 100 ns at 3.2 GHz
+    fault_record slow;
+    slow.detected = true;
+    slow.inject_big_cycle = 2'000;
+    slow.detect_big_cycle = 3'280;  // 1280 cycles = 400 ns
+    fault_record masked;
+    masked.detected = false;
+    masked.inject_big_cycle = 4'000;  // detect cycle left at 0: no latency
+    r.faults = {fast, masked, slow, masked};
+    r.detected = 2;
+    r.masked = 2;
+
+    EXPECT_FALSE(masked.latency_cycles().has_value());
+    ASSERT_TRUE(fast.latency_cycles().has_value());
+    EXPECT_DOUBLE_EQ(*fast.latency_cycles(), 320.0);
+
+    const histogram h = latency_histogram(r, 3200.0, 16);
+    EXPECT_EQ(h.total(), 2u) << "only the detected faults are binned";
+    EXPECT_DOUBLE_EQ(h.stat().mean(), 250.0)
+        << "mean over detected latencies (100, 400) ns — a masked-as-zero bug "
+           "would read 125";
+    EXPECT_DOUBLE_EQ(h.stat().min(), 100.0)
+        << "a masked-as-zero bug would read 0";
+}
+
 // --------------------------------------------------------------- resume ---
 
 struct resume_fixture {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "serve/json.h"
+#include "serve/outcome_cache.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "serve/workload_cache.h"
@@ -282,6 +283,89 @@ TEST(workload_cache, cached_program_is_identical_to_direct_generation) {
               direct.expected_dynamic_instructions);
 }
 
+// ---------------------------------------------------------- outcome cache ---
+
+sim::run_spec quick_spec(const char* scenario, const char* workload,
+                         u64 instructions = 8'000, u64 seed = 3) {
+    sim::run_spec spec;
+    spec.sc = *sim::find_scenario(scenario);
+    spec.workload = *find_profile(workload);
+    spec.instructions = instructions;
+    spec.workload_seed = seed;
+    return spec;
+}
+
+void expect_same_outcome(const sim::run_outcome& a, const sim::run_outcome& b) {
+    EXPECT_EQ(a.scenario, b.scenario);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.replayed_instructions, b.replayed_instructions);
+}
+
+TEST(outcome_cache, repeated_specs_simulate_once_and_match_direct_execution) {
+    serve::outcome_cache cache(8);
+    const sim::run_spec spec = quick_spec("meek/f2/opt/2", "hmmer");
+    const sim::run_outcome first = cache.outcome_for(spec);
+    const sim::run_outcome second = cache.outcome_for(spec);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    expect_same_outcome(first, second);
+    expect_same_outcome(first, sim::execute(spec));
+}
+
+TEST(outcome_cache, keys_on_content_and_patches_names_per_spec) {
+    serve::outcome_cache cache(8);
+    // The same physical experiment under two names: a grid-style alias of a
+    // registry scenario must hit the cached entry yet report its own name.
+    sim::run_spec registry = quick_spec("meek/f2/opt/4", "hmmer");
+    sim::run_spec alias = registry;
+    alias.sc.name = "grid/alias-of-f2-opt-4";
+    alias.soc_override = registry.sc.soc();
+
+    const sim::run_outcome a = cache.outcome_for(registry);
+    const sim::run_outcome b = cache.outcome_for(alias);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(a.scenario, "meek/f2/opt/4");
+    EXPECT_EQ(b.scenario, "grid/alias-of-f2-opt-4");
+    EXPECT_EQ(a.cycles, b.cycles);
+
+    // Any knob difference is a different key.
+    sim::run_spec deeper = registry;
+    soc_config cfg = registry.sc.soc();
+    cfg.fabric.dc_buffer_depth = 8;
+    deeper.soc_override = cfg;
+    cache.outcome_for(deeper);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(outcome_cache, capacity_zero_disables_caching_but_still_counts) {
+    serve::outcome_cache cache(0);
+    const sim::run_spec spec = quick_spec("vanilla", "hmmer", 6'000);
+    expect_same_outcome(cache.outcome_for(spec), cache.outcome_for(spec));
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(outcome_cache, lru_evicts_the_coldest_entry) {
+    serve::outcome_cache cache(2);
+    const sim::run_spec a = quick_spec("vanilla", "hmmer", 6'000, 1);
+    const sim::run_spec b = quick_spec("vanilla", "hmmer", 6'000, 2);
+    const sim::run_spec c = quick_spec("vanilla", "hmmer", 6'000, 3);
+    cache.outcome_for(a);
+    cache.outcome_for(b);
+    cache.outcome_for(a);  // touch: b is now coldest
+    cache.outcome_for(c);  // evicts b
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    cache.outcome_for(a);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    cache.outcome_for(b);
+    EXPECT_EQ(cache.stats().misses, 4u) << "evicted entry re-simulates";
+}
+
 // ---------------------------------------------------------------- service ---
 
 std::vector<std::string> mixed_batch() {
@@ -326,6 +410,21 @@ TEST(serve_service, cache_on_and_off_produce_identical_outcomes) {
     EXPECT_EQ(cached.cache().stats().misses, 2u);
     EXPECT_EQ(cached.cache().stats().hits, 6u);
     EXPECT_EQ(uncached.cache().stats().hits, 0u);
+}
+
+TEST(serve_service, duplicate_requests_are_served_from_the_outcome_cache) {
+    std::vector<std::string> lines = mixed_batch();
+    const std::vector<std::string> dupes = lines;
+    lines.insert(lines.end(), dupes.begin(), dupes.end());  // every line twice
+
+    serve::service cached({.threads = 2});
+    serve::service uncached({.threads = 2, .outcome_capacity = 0});
+    EXPECT_EQ(rows_to_text(cached.evaluate(lines)),
+              rows_to_text(uncached.evaluate(lines)));
+    EXPECT_EQ(cached.outcomes().stats().misses, 8u);
+    EXPECT_EQ(cached.outcomes().stats().hits, 8u)
+        << "the duplicate half of the batch must not re-simulate";
+    EXPECT_EQ(uncached.outcomes().stats().hits, 0u);
 }
 
 TEST(serve_service, error_rows_keep_their_slot_and_good_requests_still_run) {

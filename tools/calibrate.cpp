@@ -54,10 +54,18 @@ int main() {
             (unsigned long long)res.detected, (unsigned long long)res.masked,
             res.latency_ns.mean(), res.latency_ns.max());
         for (const auto& f : res.faults) {
-            std::printf("  %s kind=%d seq=%llu lat=%.0fns err=%d\n",
+            // A masked fault has no latency — print '-' instead of a bogus 0
+            // so eyeballed averages are not dragged down.
+            const auto lat = f.latency_cycles();
+            char lat_str[32];
+            if (lat) {
+                std::snprintf(lat_str, sizeof lat_str, "%.0fns", *lat * 0.3125);
+            } else {
+                std::snprintf(lat_str, sizeof lat_str, "-");
+            }
+            std::printf("  %s kind=%d seq=%llu lat=%s err=%d\n",
                         f.detected ? "det   " : "masked", (int)f.corrupted_kind,
-                        (unsigned long long)f.inject_seq,
-                        f.latency_cycles().value_or(0.0) * 0.3125, (int)f.kind);
+                        (unsigned long long)f.inject_seq, lat_str, (int)f.kind);
         }
     }
     return 0;

@@ -1,0 +1,256 @@
+// meek_search — sharded design-space exploration with a Pareto-frontier
+// reducer.
+//
+// Enumerates every scenario in the sim registry plus off-registry MEEK points
+// from a declarative parameter grid, evaluates each point on one workload
+// (slowdown vs the vanilla big core, silicon from the area model, detection
+// coverage from a fault-campaign probe), and prints the Pareto frontier over
+// (area, slowdown, coverage).
+//
+//   meek_search                                  default grid, exhaustive
+//   meek_search --strategy halving --keep 0.25   cheap rung, then survivors
+//   meek_search --shard 0/4 --checkpoint-dir d   evaluate every 4th point
+//
+// Sharding: each `--shard k/n` invocation evaluates its slice and persists
+// per-point checkpoints; the invocation that finds every other shard's
+// checkpoints present emits the complete merged frontier, byte-identical to
+// an unsharded run. `--resume` also reuses this shard's own completed
+// checkpoints, so a killed shard restarts at its first missing point.
+//
+// stdout carries only result rows (CSV by default, `--format ndjson` for
+// line-delimited JSON; `--all` emits dominated rows too, with a frontier 0/1
+// column) — byte-identical for a given search at any thread count. Progress
+// and session statistics go to stderr.
+//
+// Grid axes (repeatable; comma-separated values):
+//   --grid cores=2,4,6    little-core counts      --grid lsl=2048,4096  LSL bytes
+//   --grid fabric=f2,axi  forwarding fabric       --grid depth=8,16     DC-Buffer depth
+//   --grid tuning=opt,def little-core tuning      --grid unroll=1,4,8   divider unroll
+//   --grid freq=1600,2000 checker clock (MHz)
+// With no --grid flags the default sweep applies (lsl x depth x freq around
+// the Table II point); --no-registry restricts the universe to grid points.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "search/driver.h"
+#include "serve/outcome_cache.h"
+#include "sim/executor.h"
+#include "workloads/profile.h"
+
+using namespace meek;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--workload NAME] [--instructions N] [--seed N]\n"
+        "          [--strategy exhaustive|random|halving] [--samples N]\n"
+        "          [--sample-seed N] [--keep F] [--budget-div N]\n"
+        "          [--probe-faults N] [--probe-seed N]\n"
+        "          [--grid key=v1,v2,...] [--no-registry]\n"
+        "          [--shard K/N] [--checkpoint-dir DIR] [--resume]\n"
+        "          [--threads N] [--format csv|ndjson] [--all]\n",
+        argv0);
+    return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+    std::vector<std::string> values;
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos) comma = csv.size();
+        values.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return values;
+}
+
+bool apply_grid_axis(search::parameter_grid& grid, const std::string& spec) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = spec.substr(0, eq);
+    const std::vector<std::string> values = split_csv(spec.substr(eq + 1));
+    if (values.empty()) return false;  // "--grid fabric=" must not be a no-op
+    for (const std::string& v : values) {
+        if (key == "fabric") {
+            if (v == "f2") {
+                grid.fabrics.push_back(fabric_kind::f2);
+            } else if (v == "axi") {
+                grid.fabrics.push_back(fabric_kind::axi_interconnect);
+            } else {
+                return false;
+            }
+        } else if (key == "tuning") {
+            if (v == "opt") {
+                grid.tunings.push_back(little_core_tuning::optimized);
+            } else if (v == "def") {
+                grid.tunings.push_back(little_core_tuning::default_rocket);
+            } else {
+                return false;
+            }
+        } else {
+            const u64 n = std::strtoull(v.c_str(), nullptr, 10);
+            if (key == "cores") {
+                grid.little_cores.push_back(static_cast<u32>(n));
+            } else if (key == "lsl") {
+                grid.lsl_bytes.push_back(static_cast<u32>(n));
+            } else if (key == "depth") {
+                grid.dc_buffer_depths.push_back(static_cast<u32>(n));
+            } else if (key == "unroll") {
+                grid.div_unrolls.push_back(static_cast<u32>(n));
+            } else if (key == "freq") {
+                grid.checker_freq_mhz.push_back(n);
+            } else {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    search::search_options opts;
+    search::parameter_grid grid;
+    bool grid_given = false;
+    bool include_registry = true;
+    bool frontier_only = true;
+    bool ndjson = false;
+    u32 threads = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            opts.workload = next_value("--workload");
+        } else if (arg == "--instructions") {
+            opts.instructions = std::strtoull(next_value("--instructions"), nullptr, 10);
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(next_value("--seed"), nullptr, 10);
+        } else if (arg == "--strategy") {
+            const auto kind = search::parse_strategy(next_value("--strategy"));
+            if (!kind) return usage(argv[0]);
+            opts.strategy = *kind;
+        } else if (arg == "--samples") {
+            opts.sample_count = std::strtoull(next_value("--samples"), nullptr, 10);
+        } else if (arg == "--sample-seed") {
+            opts.sample_seed = std::strtoull(next_value("--sample-seed"), nullptr, 10);
+        } else if (arg == "--keep") {
+            opts.halving_keep = std::strtod(next_value("--keep"), nullptr);
+        } else if (arg == "--budget-div") {
+            opts.halving_divisor = std::strtoull(next_value("--budget-div"), nullptr, 10);
+        } else if (arg == "--probe-faults") {
+            opts.probe.faults =
+                static_cast<u32>(std::strtoul(next_value("--probe-faults"), nullptr, 10));
+        } else if (arg == "--probe-seed") {
+            opts.probe.seed = std::strtoull(next_value("--probe-seed"), nullptr, 10);
+        } else if (arg == "--grid") {
+            if (!apply_grid_axis(grid, next_value("--grid"))) {
+                std::fprintf(stderr, "bad --grid axis (keys: cores, fabric, tuning, "
+                                     "lsl, depth, unroll, freq)\n");
+                return 2;
+            }
+            grid_given = true;
+        } else if (arg == "--no-registry") {
+            include_registry = false;
+        } else if (arg == "--shard") {
+            const char* v = next_value("--shard");
+            char* end = nullptr;
+            opts.shard_index = static_cast<u32>(std::strtoul(v, &end, 10));
+            if (end == nullptr || *end != '/') return usage(argv[0]);
+            opts.shard_count = static_cast<u32>(std::strtoul(end + 1, nullptr, 10));
+            if (opts.shard_count == 0 || opts.shard_index >= opts.shard_count) {
+                std::fprintf(stderr, "--shard wants K/N with K < N\n");
+                return 2;
+            }
+        } else if (arg == "--checkpoint-dir") {
+            opts.checkpoint_dir = next_value("--checkpoint-dir");
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg == "--threads") {
+            threads = static_cast<u32>(std::strtoul(next_value("--threads"), nullptr, 10));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = static_cast<u32>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+        } else if (arg == "--format") {
+            const std::string v = next_value("--format");
+            if (v == "ndjson") {
+                ndjson = true;
+            } else if (v != "csv") {
+                return usage(argv[0]);
+            }
+        } else if (arg == "--all") {
+            frontier_only = false;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (find_profile(opts.workload) == nullptr) {
+        std::fprintf(stderr, "unknown workload '%s'\n", opts.workload.c_str());
+        return 1;
+    }
+    if (opts.shard_count > 1 && opts.checkpoint_dir.empty()) {
+        std::fprintf(stderr, "--shard needs --checkpoint-dir to merge across runs\n");
+        return 2;
+    }
+    if (!grid_given) grid = search::default_grid();
+
+    const std::vector<search::design_point> points =
+        search::enumerate_points(grid, include_registry);
+    if (points.empty()) {
+        std::fprintf(stderr, "empty universe (--no-registry with no grid axes?)\n");
+        return 1;
+    }
+
+    sim::executor ex(threads);
+    serve::outcome_cache outcomes;
+    std::fprintf(stderr,
+                 "# universe: %zu points (%s registry), strategy %s, workload %s, "
+                 "%llu instr, probe %u faults, shard %u/%u, %u thread(s)\n",
+                 points.size(), include_registry ? "with" : "no",
+                 search::strategy_name(opts.strategy), opts.workload.c_str(),
+                 static_cast<unsigned long long>(opts.instructions),
+                 opts.probe.faults, opts.shard_index, opts.shard_count,
+                 ex.num_threads());
+
+    const search::search_result result = search::run_search(points, opts, ex, &outcomes);
+
+    if (!result.complete) {
+        std::fprintf(stderr, "# shard %u/%u done; waiting for shard(s):",
+                     opts.shard_index, opts.shard_count);
+        for (const u32 s : result.missing_shards) std::fprintf(stderr, " %u", s);
+        std::fprintf(stderr,
+                     "\n# re-run the missing shards against the same "
+                     "--checkpoint-dir, then any shard emits the merged frontier\n");
+        return 0;
+    }
+
+    const std::string rendered = ndjson ? search::to_ndjson(result, frontier_only)
+                                        : search::to_csv(result, frontier_only);
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+
+    const serve::outcome_cache_stats os = outcomes.stats();
+    const sim::executor_timing t = ex.timing();
+    std::fprintf(stderr,
+                 "# evaluated=%zu pruned=%zu resumed=%llu frontier=%zu\n"
+                 "# outcomes: hits=%llu misses=%llu hit_rate=%.1f%%\n"
+                 "# job wall-time ms: min=%.2f mean=%.2f max=%.2f total=%.2f\n",
+                 result.evaluated.size(), result.pruned,
+                 static_cast<unsigned long long>(result.resumed_points),
+                 result.frontier.size(), static_cast<unsigned long long>(os.hits),
+                 static_cast<unsigned long long>(os.misses), 100.0 * os.hit_rate(),
+                 t.min_ms, t.mean_ms, t.max_ms, t.total_ms);
+    return 0;
+}

@@ -8,9 +8,11 @@
 //                                   then exit.
 //
 // Options:
-//   --threads N          worker threads (default: MEEK_THREADS / hardware)
-//   --cache-capacity N   workload cache entries (default 64; 0 disables)
-//   --quiet              suppress the stderr session summary
+//   --threads N            worker threads (default: MEEK_THREADS / hardware)
+//   --cache-capacity N     workload cache entries (default 64; 0 disables)
+//   --outcome-capacity N   completed-result cache entries (default 256;
+//                          0 disables — every request simulates)
+//   --quiet                suppress the stderr session summary
 //
 // stdout carries only response rows — byte-identical for a given input at
 // any thread count — so it can be diffed against golden expectations; the
@@ -31,7 +33,7 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--requests FILE] [--threads N] [--cache-capacity N] "
-                 "[--quiet]\n",
+                 "[--outcome-capacity N] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -62,6 +64,11 @@ int main(int argc, char** argv) {
             opts.cache_capacity = std::strtoul(next_value("--cache-capacity"), nullptr, 10);
         } else if (arg.rfind("--cache-capacity=", 0) == 0) {
             opts.cache_capacity = std::strtoul(arg.c_str() + 17, nullptr, 10);
+        } else if (arg == "--outcome-capacity") {
+            opts.outcome_capacity =
+                std::strtoul(next_value("--outcome-capacity"), nullptr, 10);
+        } else if (arg.rfind("--outcome-capacity=", 0) == 0) {
+            opts.outcome_capacity = std::strtoul(arg.c_str() + 19, nullptr, 10);
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -86,10 +93,12 @@ int main(int argc, char** argv) {
 
     if (!quiet) {
         const serve::workload_cache_stats cs = svc.cache().stats();
+        const serve::outcome_cache_stats os = svc.outcomes().stats();
         const sim::executor_timing t = svc.pool().timing();
         std::fprintf(stderr,
                      "# requests=%llu rows=%llu errors=%llu jobs=%llu threads=%u\n"
                      "# cache: hits=%llu misses=%llu evictions=%llu hit_rate=%.1f%%\n"
+                     "# outcomes: hits=%llu misses=%llu evictions=%llu hit_rate=%.1f%%\n"
                      "# job wall-time ms: min=%.2f mean=%.2f max=%.2f total=%.2f\n",
                      static_cast<unsigned long long>(stats.requests),
                      static_cast<unsigned long long>(stats.rows),
@@ -99,7 +108,11 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(cs.hits),
                      static_cast<unsigned long long>(cs.misses),
                      static_cast<unsigned long long>(cs.evictions),
-                     100.0 * cs.hit_rate(), t.min_ms, t.mean_ms, t.max_ms,
+                     100.0 * cs.hit_rate(),
+                     static_cast<unsigned long long>(os.hits),
+                     static_cast<unsigned long long>(os.misses),
+                     static_cast<unsigned long long>(os.evictions),
+                     100.0 * os.hit_rate(), t.min_ms, t.mean_ms, t.max_ms,
                      t.total_ms);
     }
     return 0;
