@@ -1,0 +1,50 @@
+#include "search/dispatch.h"
+
+#include <memory>
+
+#include "serve/transport.h"
+
+namespace meek::search {
+
+shard_dispatch_result dispatch_shards(const shard_dispatch_options& opts) {
+    shard_dispatch_result out;
+    if (opts.shard_count == 0 || opts.argv_base.empty()) {
+        out.error = "dispatch wants a positive shard count and a worker command";
+        return out;
+    }
+
+    // Launch every shard before waiting on any: the whole point is that the
+    // slices evaluate in parallel across processes.
+    std::vector<std::unique_ptr<serve::child_process>> workers;
+    for (u32 k = 0; k < opts.shard_count; ++k) {
+        std::vector<std::string> argv = opts.argv_base;
+        argv.emplace_back("--shard");
+        argv.push_back(std::to_string(k) + "/" + std::to_string(opts.shard_count));
+        std::string error;
+        auto child = serve::child_process::spawn(argv, {.stdout_to_null = true}, &error);
+        if (!child) {
+            out.error = "spawn shard " + std::to_string(k) + ": " + error;
+            break;
+        }
+        child->close_stdin();  // shard workers take no input
+        workers.push_back(std::move(child));
+    }
+
+    if (!out.error.empty()) {
+        // The dispatch is doomed: don't let the shards that did start burn
+        // through their whole slices first. Their checkpoints are atomic, so
+        // a killed shard's completed points are still reusable on retry.
+        for (auto& w : workers) w->kill();
+    }
+
+    bool all_ok = out.error.empty() && workers.size() == opts.shard_count;
+    for (auto& w : workers) {
+        const int code = w->wait();
+        out.exit_codes.push_back(code);
+        if (code != 0) all_ok = false;
+    }
+    out.ok = all_ok;
+    return out;
+}
+
+}  // namespace meek::search

@@ -1,0 +1,279 @@
+#include "serve/gateway.h"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <thread>
+
+#include "serve/protocol.h"
+
+namespace meek::serve {
+namespace {
+
+// Translate a worker row's sub-batch request index to the global one in
+// place. The writer emits "request" as the first key, so this touches only
+// the row's numeric prefix — every other byte passes through verbatim, which
+// is what keeps the merged stream byte-identical to a single-process run.
+bool rewrite_request_index(std::string* line, u64 global_index) {
+    const std::size_t key = line->find("\"request\":");
+    if (key == std::string::npos) return false;
+    const std::size_t start = key + 10;
+    std::size_t end = start;
+    while (end < line->size() &&
+           std::isdigit(static_cast<unsigned char>((*line)[end]))) {
+        ++end;
+    }
+    if (end == start) return false;
+    line->replace(start, end - start, std::to_string(global_index));
+    return true;
+}
+
+}  // namespace
+
+// One endpoint of the pool: a spawned child process or a connected socket.
+struct gateway::worker {
+    std::unique_ptr<child_process> proc;
+    std::unique_ptr<fd_stream> sock;
+    bool failed = false;
+    std::string failure;  // diagnostic detail (not part of the wire protocol)
+
+    std::iostream* io() {
+        if (proc) return &proc->io();
+        return sock.get();
+    }
+
+    void fail(const std::string& why) {
+        failed = true;
+        if (failure.empty()) failure = why;
+    }
+};
+
+gateway::gateway(const gateway_options& opts) {
+    if (!opts.endpoints.empty()) {
+        for (const endpoint_address& addr : opts.endpoints) {
+            auto w = std::make_unique<worker>();
+            std::string error;
+            w->sock = connect_endpoint(addr, &error);
+            if (!w->sock) w->fail("connect " + addr.describe() + ": " + error);
+            workers_.push_back(std::move(w));
+        }
+        return;
+    }
+    for (u32 i = 0; i < opts.workers; ++i) {
+        auto w = std::make_unique<worker>();
+        std::string error;
+        w->proc = child_process::spawn(opts.worker_argv, {}, &error);
+        if (!w->proc) w->fail("spawn: " + error);
+        workers_.push_back(std::move(w));
+    }
+}
+
+gateway::~gateway() {
+    // EOF on every child's stdin first, then reap: a pool of workers shuts
+    // down in parallel instead of one blocking wait at a time. A worker that
+    // desynced may be deaf to EOF (blocked mid-write, wedged), so failed
+    // workers are killed outright — wait() must never hang the front-end.
+    for (const auto& w : workers_) {
+        if (!w->proc) continue;
+        w->proc->close_stdin();
+        if (w->failed) w->proc->kill();
+    }
+    for (const auto& w : workers_) {
+        if (w->proc) w->proc->wait();
+    }
+}
+
+std::size_t gateway::alive_workers() const {
+    std::size_t n = 0;
+    for (const auto& w : workers_) {
+        if (!w->failed) ++n;
+    }
+    return n;
+}
+
+std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines,
+                                           gateway_stats* stats) {
+    const std::size_t num_workers = workers_.size();
+    const std::size_t failed_before = num_workers - alive_workers();
+
+    // Per-request bookkeeping, from the gateway's own parse of each line.
+    // The worker runs the same parser, so "how many rows does a healthy
+    // worker owe for this line" is answerable here: one per repeat, except
+    // that any error row settles the request with that single row.
+    struct request_state {
+        std::size_t owner = 0;  // worker index (stable: i mod N over all workers)
+        std::string id;         // echoed into synthesized error rows
+        u64 repeats = 1;
+        u64 rows_received = 0;
+        u64 error_rows = 0;
+        bool settled_by_error = false;
+        std::vector<std::pair<u64, std::string>> rows;  // (repeat, final line)
+    };
+    std::vector<request_state> requests(lines.size());
+
+    // Shard: line i -> worker i mod N, preserving relative order inside each
+    // sub-batch. The assignment ignores worker health so that which rows a
+    // given worker owns never depends on runtime failures. A blank line
+    // (possible through the evaluate() API; the stream path filters them)
+    // must never reach a worker — it would read as that worker's batch
+    // terminator and desync the stream — so it is settled locally with the
+    // same error row a single-process service would emit.
+    std::vector<std::vector<std::size_t>> owned(num_workers);  // global indices
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        request_state& rs = requests[i];
+        rs.owner = num_workers == 0 ? 0 : i % num_workers;
+        const parsed_request parsed = parse_request(strip_cr(lines[i]));
+        if (parsed.ok()) {
+            rs.id = parsed.request.id;
+            rs.repeats = parsed.request.repeats;
+        }
+        if (is_blank_line(lines[i])) {
+            response_row err;
+            err.request_index = i;
+            err.error = parsed.error;  // "bad json: ...", as the worker would say
+            rs.settled_by_error = true;
+            ++rs.error_rows;
+            rs.rows.emplace_back(0, to_json(err));
+            continue;
+        }
+        if (num_workers > 0) owned[rs.owner].push_back(i);
+    }
+
+    // Fan the sub-batches out, one thread per live worker: write the framed
+    // sub-batch, then read rows until the blank end-of-batch marker. Workers
+    // complete in any order; per-worker row buckets keep the merge phase
+    // deterministic.
+    std::vector<std::vector<std::string>> received(num_workers);
+    std::vector<std::thread> threads;
+    for (std::size_t k = 0; k < num_workers; ++k) {
+        if (owned[k].empty() || workers_[k]->failed) continue;
+        threads.emplace_back([this, k, &owned, &lines, &received] {
+            worker& w = *workers_[k];
+            std::iostream& io = *w.io();
+            for (const std::size_t g : owned[k]) {
+                io << lines[g] << '\n';
+            }
+            io << '\n';
+            io.flush();
+            if (!io.good()) {
+                w.fail("write to worker failed");
+                return;
+            }
+            std::string line;
+            while (std::getline(io, line)) {
+                if (is_blank_line(line)) return;  // end-of-batch marker
+                received[k].emplace_back(strip_cr(line));
+            }
+            w.fail("EOF before end-of-batch marker");
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Credit every received row to its request: remap the worker-local index,
+    // rewrite it in the raw line, and bucket by (global request, repeat). A
+    // row that does not parse or points outside the worker's sub-batch means
+    // the stream is not trustworthy beyond this point — treat it as a worker
+    // failure and let the slot synthesis below cover the remainder.
+    for (std::size_t k = 0; k < num_workers; ++k) {
+        for (std::string& raw : received[k]) {
+            const std::optional<response_row> row = parse_response(raw);
+            if (!row || row->request_index >= owned[k].size()) {
+                workers_[k]->fail("desynced response stream");
+                break;
+            }
+            const std::size_t g = owned[k][row->request_index];
+            std::string line = std::move(raw);
+            if (!rewrite_request_index(&line, g)) {
+                workers_[k]->fail("desynced response stream");
+                break;
+            }
+            request_state& rs = requests[g];
+            ++rs.rows_received;
+            if (!row->error.empty()) {
+                rs.settled_by_error = true;
+                ++rs.error_rows;
+            }
+            rs.rows.emplace_back(row->repeat, std::move(line));
+        }
+    }
+
+    // Fill the slots a failed worker still owed: one error row per missing
+    // (request, repeat), in place, so the batch shape survives any worker
+    // dying — the contract that makes the gateway safe to put in front of a
+    // long-running campaign.
+    for (std::size_t g = 0; g < requests.size(); ++g) {
+        request_state& rs = requests[g];
+        if (rs.settled_by_error) continue;
+        const bool owner_failed = num_workers == 0 || workers_[rs.owner]->failed;
+        if (!owner_failed) continue;
+        // A desynced stream can also carry duplicate or out-of-range repeat
+        // indices; keep the first row per valid slot and drop the rest, so
+        // the one-row-per-(request, repeat) shape holds no matter what the
+        // dying worker emitted.
+        std::vector<bool> have(rs.repeats, false);
+        std::vector<std::pair<u64, std::string>> kept;
+        kept.reserve(rs.rows.size());
+        for (auto& [repeat, line] : rs.rows) {
+            if (repeat < rs.repeats && !have[repeat]) {
+                have[repeat] = true;
+                kept.emplace_back(repeat, std::move(line));
+            }
+        }
+        rs.rows = std::move(kept);
+        for (u64 r = 0; r < rs.repeats; ++r) {
+            if (have[r]) continue;
+            response_row err;
+            err.request_index = g;
+            err.repeat = r;
+            err.id = rs.id;
+            err.error = "gateway: worker " + std::to_string(rs.owner) +
+                        " failed mid-batch";
+            ++rs.error_rows;
+            rs.rows.emplace_back(r, to_json(err));
+        }
+    }
+
+    // Merge in global (request, repeat) order.
+    std::vector<std::string> out;
+    u64 error_rows = 0;
+    for (request_state& rs : requests) {
+        error_rows += rs.error_rows;
+        std::stable_sort(rs.rows.begin(), rs.rows.end(),
+                         [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (auto& [repeat, line] : rs.rows) {
+            out.push_back(std::move(line));
+        }
+    }
+
+    if (stats) {
+        stats->requests += lines.size();
+        stats->rows += out.size();
+        stats->errors += error_rows;
+        // Only failures that happened during this batch; a worker lost
+        // earlier in the session was already counted.
+        stats->worker_failures += (num_workers - alive_workers()) - failed_before;
+    }
+    return out;
+}
+
+bool gateway::serve_batch(std::istream& in, std::ostream& out, gateway_stats* stats,
+                          bool framed) {
+    const std::vector<std::string> lines = read_batch_lines(in);
+    if (lines.empty()) return false;
+    for (const std::string& row : evaluate(lines, stats)) {
+        out << row << '\n';
+    }
+    if (framed) out << '\n';
+    out.flush();
+    return true;
+}
+
+gateway_stats gateway::serve_stream(std::istream& in, std::ostream& out, bool framed) {
+    gateway_stats total;
+    while (serve_batch(in, out, &total, framed)) {
+    }
+    return total;
+}
+
+}  // namespace meek::serve

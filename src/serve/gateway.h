@@ -1,0 +1,82 @@
+// The sharding gateway: a front-end that makes a pool of meek_serve workers
+// look like one service.
+//
+// One logical batch of request lines is sharded round-robin across N worker
+// endpoints (request line i goes to worker i mod N), each worker evaluates
+// its sub-batch concurrently, and the returned row streams are merged back
+// preserving the global (request, repeat) order — byte-identical to what a
+// single-process serve::service would emit for the same batch. The only
+// rewrite on the way back is the "request" index, which is translated from
+// the worker's sub-batch numbering to the global one; every other byte of a
+// worker row passes through untouched.
+//
+// Workers are either child processes (`meek_serve --framed --quiet` over
+// stdin/stdout pipes) or remote framed socket endpoints (`meek_serve
+// --listen`). Worker batches are framed — rows then one blank line — so the
+// gateway can detect end-of-batch without counting rows, and a worker that
+// dies mid-batch (EOF before the terminator) is detected deterministically:
+// every (request, repeat) slot the dead worker still owed becomes an error
+// row in its slot, and the rest of the batch is unaffected. A worker that
+// failed once is not sent further batches; its slots keep erroring.
+//
+// The gateway never simulates and never parses outcome fields — it is pure
+// protocol: framing, sharding, index rewriting, order-preserving merge.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/transport.h"
+
+namespace meek::serve {
+
+struct gateway_options {
+    // Process workers: spawn `workers` copies of `worker_argv` (the command
+    // should speak framed batches on stdio, i.e. meek_serve --framed).
+    // Ignored when `endpoints` is non-empty.
+    u32 workers = 2;
+    std::vector<std::string> worker_argv;
+
+    // Remote workers: framed socket endpoints, one worker each.
+    std::vector<endpoint_address> endpoints;
+};
+
+struct gateway_stats {
+    u64 requests = 0;        // lines sharded
+    u64 rows = 0;            // rows merged (includes error rows)
+    u64 errors = 0;          // error rows among them (worker + protocol errors)
+    u64 worker_failures = 0; // workers that died or desynced mid-batch
+};
+
+class gateway {
+public:
+    // Spawns / connects the pool. A worker that cannot be brought up is
+    // recorded as failed (its requests become error rows) rather than
+    // aborting the gateway; `ok()` is false only when *no* worker came up.
+    explicit gateway(const gateway_options& opts);
+    ~gateway();
+
+    bool ok() const { return alive_workers() > 0; }
+    std::size_t worker_count() const { return workers_.size(); }
+    std::size_t alive_workers() const;
+
+    // Shard one batch across the pool and merge the responses: one NDJSON
+    // row per (request, repeat) in global order, ready to print.
+    std::vector<std::string> evaluate(const std::vector<std::string>& lines,
+                                      gateway_stats* stats = nullptr);
+
+    // Stream plumbing mirroring serve::service: blank-line framed batches in,
+    // merged rows out (plus a blank terminator per batch when `framed`).
+    bool serve_batch(std::istream& in, std::ostream& out,
+                     gateway_stats* stats = nullptr, bool framed = false);
+    gateway_stats serve_stream(std::istream& in, std::ostream& out,
+                               bool framed = false);
+
+private:
+    struct worker;
+    std::vector<std::unique_ptr<worker>> workers_;
+};
+
+}  // namespace meek::serve

@@ -354,6 +354,56 @@ std::optional<json_value> json_parse(std::string_view text, std::string* error) 
     return parser(text, error).run();
 }
 
+std::string json_dump(const json_value& v) {
+    switch (v.kind()) {
+        case json_kind::null:
+            return "null";
+        case json_kind::boolean:
+            return v.as_bool() ? "true" : "false";
+        case json_kind::number: {
+            if (v.is_unsigned_integer()) return std::to_string(v.as_u64());
+            if (v.is_integer()) {
+                // Negative integer: print the exact stored magnitude — the
+                // double view rounds beyond 2^53 and would drift the value.
+                return "-" + std::to_string(v.integer_magnitude());
+            }
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%.17g", v.as_double());
+            std::string text = buf;
+            // An integral-valued double would re-parse as integer kind;
+            // ".0" keeps the non-integer view across the round-trip.
+            if (std::isfinite(v.as_double()) &&
+                text.find_first_of(".eE") == std::string::npos) {
+                text += ".0";
+            }
+            return text;
+        }
+        case json_kind::string:
+            return "\"" + json_escape(v.as_string()) + "\"";
+        case json_kind::array: {
+            std::string out = "[";
+            bool first = true;
+            for (const json_value& item : v.items()) {
+                if (!first) out += ",";
+                first = false;
+                out += json_dump(item);
+            }
+            return out + "]";
+        }
+        case json_kind::object: {
+            std::string out = "{";
+            bool first = true;
+            for (const auto& [key, value] : v.members()) {
+                if (!first) out += ",";
+                first = false;
+                out += "\"" + json_escape(key) + "\":" + json_dump(value);
+            }
+            return out + "}";
+        }
+    }
+    return "null";
+}
+
 std::string json_escape(std::string_view s) {
     std::string out;
     out.reserve(s.size());

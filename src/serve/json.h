@@ -47,6 +47,9 @@ public:
     bool as_bool(bool fallback = false) const;
     double as_double(double fallback = 0.0) const;
     u64 as_u64(u64 fallback = 0) const;
+    // Exact |value| of an integer (0 otherwise) — the lossless view of
+    // negative integers, whose double view rounds beyond 2^53.
+    u64 integer_magnitude() const { return integer_ ? uint_ : 0; }
     const std::string& as_string() const { return str_; }  // empty if not a string
 
     // Array / object access.
@@ -75,6 +78,11 @@ private:
 // Parse one complete JSON value. On failure returns nullopt and, when `error`
 // is non-null, a human-readable message with the byte offset.
 std::optional<json_value> json_parse(std::string_view text, std::string* error = nullptr);
+
+// Serialize any value back to one line of JSON. Integers print exactly;
+// non-integer numbers use %.17g, which strtod round-trips bit-for-bit, so
+// json_parse(json_dump(v)) reproduces `v` for every finite value.
+std::string json_dump(const json_value& v);
 
 // Escape `s` for embedding inside a JSON string literal (no quotes added).
 std::string json_escape(std::string_view s);

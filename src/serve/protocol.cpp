@@ -1,13 +1,46 @@
 #include "serve/protocol.h"
 
+#include <istream>
+
 #include "serve/json.h"
 #include "sim/executor.h"
 #include "workloads/profile.h"
 
 namespace meek::serve {
+
+std::string_view strip_cr(std::string_view line) {
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    return line;
+}
+
+bool is_blank_line(std::string_view line) {
+    for (const char c : strip_cr(line)) {
+        if (c != ' ' && c != '\t') return false;
+    }
+    return true;
+}
+
+std::vector<std::string> read_batch_lines(std::istream& in) {
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (is_blank_line(line)) {
+            if (lines.empty()) continue;  // skip leading blank lines
+            break;                        // batch terminator
+        }
+        lines.emplace_back(strip_cr(line));
+    }
+    return lines;
+}
+
 namespace {
 
 constexpr int k_ipc_decimals = 6;
+
+// One request fans out into `repeats` jobs (and, on a gateway worker
+// failure, `repeats` synthesized error-row slots) — bound it so a single
+// line cannot demand an absurd allocation before any simulation starts.
+constexpr u64 k_max_repeats = 1'000'000;
 
 bool field_is_string(const json_value& v) { return v.is_string(); }
 
@@ -84,6 +117,11 @@ parsed_request parse_request(std::string_view line) {
         } else if (key == "repeats") {
             if (!field_is_uint(value)) {
                 out.error = "field 'repeats' must be a positive integer";
+                return out;
+            }
+            if (value.as_u64() > k_max_repeats) {
+                out.error = "field 'repeats' out of range (1.." +
+                            std::to_string(k_max_repeats) + ")";
                 return out;
             }
             req.repeats = value.as_u64();

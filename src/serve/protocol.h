@@ -15,7 +15,8 @@
 //   * "seed"         — workload generation seed (default 0xC0FFEE).
 //   * "repeats"      — number of evaluations; repeat r>0 re-generates the
 //                      workload with derive_stream_seed(seed, r), repeat 0
-//                      uses `seed` itself (default 1).
+//                      uses `seed` itself (default 1, at most 1000000 — a
+//                      request is also an allocation bound downstream).
 //   * "id"           — opaque client tag echoed into every response row.
 //
 // Unknown fields are an error: a typo must not silently evaluate defaults.
@@ -30,14 +31,33 @@
 //   {"request":3,"repeat":0,"id":"client-tag","error":"unknown workload 'x'"}
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/job.h"
 #include "sim/scenario.h"
 
 namespace meek::serve {
+
+// ---------------------------------------------------------- batch framing ---
+//
+// A batch on a stream is a run of non-blank lines terminated by a blank line
+// or EOF. Framing normalizes line endings: a trailing '\r' (CRLF clients —
+// telnet, Windows sockets) is stripped here so the JSON layer never sees it
+// and a CRLF batch is byte-identical to an LF one.
+
+// `line` minus one trailing '\r', if present.
+std::string_view strip_cr(std::string_view line);
+
+// Blank for framing purposes: empty or whitespace-only (after CR strip).
+bool is_blank_line(std::string_view line);
+
+// Read one batch: skips leading blank lines, collects CR-stripped request
+// lines until a blank line or EOF. Empty result <=> `in` is exhausted.
+std::vector<std::string> read_batch_lines(std::istream& in);
 
 // One evaluation request, as parsed from a single NDJSON line.
 struct run_request {

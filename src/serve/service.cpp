@@ -4,22 +4,6 @@
 #include <ostream>
 
 namespace meek::serve {
-namespace {
-
-// Trailing '\r' tolerance: requests may arrive with CRLF line endings.
-std::string_view strip_cr(std::string_view line) {
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    return line;
-}
-
-bool is_blank(std::string_view line) {
-    for (const char c : line) {
-        if (c != ' ' && c != '\t') return false;
-    }
-    return true;
-}
-
-}  // namespace
 
 service::service(const service_options& opts)
     : cache_(opts.cache_capacity),
@@ -98,28 +82,22 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
     return rows;
 }
 
-bool service::serve_batch(std::istream& in, std::ostream& out, batch_stats* stats) {
-    std::vector<std::string> lines;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (is_blank(strip_cr(line))) {
-            if (lines.empty()) continue;  // skip leading blank lines
-            break;                        // batch terminator
-        }
-        lines.push_back(line);
-    }
+bool service::serve_batch(std::istream& in, std::ostream& out, batch_stats* stats,
+                          bool framed) {
+    const std::vector<std::string> lines = read_batch_lines(in);
     if (lines.empty()) return false;
 
     for (const response_row& row : evaluate(lines, stats)) {
         out << to_json(row) << '\n';
     }
+    if (framed) out << '\n';  // end-of-batch marker, mirroring request framing
     out.flush();
     return true;
 }
 
-batch_stats service::serve_stream(std::istream& in, std::ostream& out) {
+batch_stats service::serve_stream(std::istream& in, std::ostream& out, bool framed) {
     batch_stats total;
-    while (serve_batch(in, out, &total)) {
+    while (serve_batch(in, out, &total, framed)) {
     }
     return total;
 }

@@ -9,8 +9,13 @@
 // in their slot instead of aborting the batch.
 //
 // Batch framing on a stream: one request per line; a blank line (or EOF)
-// ends the batch. serve_stream() loops batches until EOF, flushing after
-// each, which is the stdin/stdout daemon mode of tools/meek_serve.
+// ends the batch, and a trailing '\r' is stripped by the framing layer so
+// CRLF clients frame identically (serve::read_batch_lines). serve_stream()
+// loops batches until EOF, flushing after each, which is the stdin/stdout
+// daemon mode of tools/meek_serve. In *framed* mode — the socket transport's
+// wire format, and `meek_serve --framed` — each batch's rows are followed by
+// one blank line, mirroring the request framing, so a client can detect
+// end-of-batch without counting rows.
 #pragma once
 
 #include <iosfwd>
@@ -48,13 +53,15 @@ public:
                                        batch_stats* stats = nullptr);
 
     // Read one blank-line-terminated batch from `in`, evaluate it, and write
-    // one NDJSON row per (request, repeat) to `out`. Returns false when `in`
-    // was exhausted before any request line was read.
-    bool serve_batch(std::istream& in, std::ostream& out, batch_stats* stats = nullptr);
+    // one NDJSON row per (request, repeat) to `out` (plus a blank terminator
+    // line when `framed`). Returns false when `in` was exhausted before any
+    // request line was read.
+    bool serve_batch(std::istream& in, std::ostream& out, batch_stats* stats = nullptr,
+                     bool framed = false);
 
     // Drain `in` batch by batch until EOF, flushing `out` after each batch;
     // returns the aggregate stats of the session.
-    batch_stats serve_stream(std::istream& in, std::ostream& out);
+    batch_stats serve_stream(std::istream& in, std::ostream& out, bool framed = false);
 
     const workload_cache& cache() const { return cache_; }
     const outcome_cache& outcomes() const { return outcomes_; }

@@ -2,10 +2,24 @@
 // protocol (including malformed-request error paths), the content-addressed
 // workload cache (hit/miss accounting, LRU bounds, cache-on/off outcome
 // equivalence), and batch service determinism across thread counts.
+//
+// The fuzz/property section hardens the JSON layer: seeded-random round-trip
+// properties over generated request/response/value trees (integer-exact,
+// escapes, nesting) and a malformed-input corpus (tests/data/json_corpus/)
+// that must parse-fail cleanly — no crash, no partial row. The concurrency
+// section hammers serve::outcome_cache from many threads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/json.h"
@@ -68,6 +82,333 @@ TEST(serve_json, integers_round_trip_exactly_through_writer_and_parser) {
     EXPECT_DOUBLE_EQ(doc->get("ipc")->as_double(), 1.25);
 }
 
+// ----------------------------------------------------- json property/fuzz ---
+
+// Deterministic generator state shared by the property tests: mt19937_64 is
+// fully specified by the standard, so every platform fuzzes the same inputs.
+using fuzz_rng = std::mt19937_64;
+
+u64 rand_u64(fuzz_rng& rng) { return rng(); }
+
+u64 rand_extreme_u64(fuzz_rng& rng) {
+    switch (rng() % 5) {
+        case 0: return 1;
+        case 1: return 0xFFFFFFFFFFFFFFFFull;
+        case 2: return 0x8000000000000000ull;
+        case 3: return rng() % 1000;
+        default: return rng();
+    }
+}
+
+// For wire fields validated as strictly positive (instructions, repeats, ...).
+u64 rand_positive_u64(fuzz_rng& rng) {
+    const u64 v = rand_extreme_u64(rng);
+    return v == 0 ? 1 : v;
+}
+
+// Strings that stress every escape path: quotes, backslashes, control bytes,
+// multi-byte UTF-8, and JSON-looking metacharacters.
+std::string rand_string(fuzz_rng& rng, std::size_t max_len) {
+    static const char* const atoms[] = {
+        "a", "Z", "7", " ", "\"", "\\", "\n", "\r", "\t", "\b", "\f",
+        "\x01", "\x1f", "{", "}", "[", "]", ":", ",", "\xC3\xA9", "\xE2\x82\xAC",
+        "\\u0041", "error\":", "null",
+    };
+    const std::size_t len = rng() % (max_len + 1);
+    std::string out;
+    for (std::size_t i = 0; i < len; ++i) {
+        out += atoms[rng() % (sizeof atoms / sizeof atoms[0])];
+    }
+    return out;
+}
+
+// Finite doubles across many magnitudes, deterministic across platforms.
+double rand_double(fuzz_rng& rng) {
+    const double mantissa =
+        static_cast<double>(rng() >> 11) / static_cast<double>(1ull << 53);
+    const int exponent = static_cast<int>(rng() % 61) - 30;
+    const double d = std::ldexp(mantissa + 0.5, exponent);
+    return (rng() % 2 == 0) ? d : -d;
+}
+
+// A random JSON value tree of bounded depth; at depth 0 only scalars.
+serve::json_value rand_json_value(fuzz_rng& rng, int depth) {
+    const u64 pick = rng() % (depth > 0 ? 8 : 6);
+    switch (pick) {
+        case 0: return serve::json_value::make_null();
+        case 1: return serve::json_value::make_bool(rng() % 2 == 0);
+        case 2: return serve::json_value::make_unsigned(rand_extreme_u64(rng));
+        case 3: {
+            const u64 mag = rng();
+            return serve::json_value::make_integer(
+                mag > static_cast<u64>(INT64_MAX)
+                    ? INT64_MIN + static_cast<i64>(mag % 1000)
+                    : -static_cast<i64>(mag % 0x7FFFFFFFFFFFFFFFll));
+        }
+        case 4: return serve::json_value::make_number(rand_double(rng));
+        case 5: return serve::json_value::make_string(rand_string(rng, 12));
+        case 6: {
+            serve::json_value arr = serve::json_value::make_array();
+            const std::size_t n = rng() % 4;
+            for (std::size_t i = 0; i < n; ++i) {
+                arr.push_back(rand_json_value(rng, depth - 1));
+            }
+            return arr;
+        }
+        default: {
+            serve::json_value obj = serve::json_value::make_object();
+            const std::size_t n = rng() % 4;
+            for (std::size_t i = 0; i < n; ++i) {
+                obj.set(rand_string(rng, 8), rand_json_value(rng, depth - 1));
+            }
+            return obj;
+        }
+    }
+}
+
+// Structural equality after a round-trip. Numbers compare through the typed
+// views: unsigned integers bit-exact via as_u64, everything else via the
+// double view (which both sides derive the same way from the printed text).
+bool json_equal(const serve::json_value& a, const serve::json_value& b) {
+    if (a.kind() != b.kind()) return false;
+    switch (a.kind()) {
+        case serve::json_kind::null:
+            return true;
+        case serve::json_kind::boolean:
+            return a.as_bool() == b.as_bool();
+        case serve::json_kind::number:
+            if (a.is_integer() != b.is_integer()) return false;
+            if (a.is_integer()) {
+                // Bit-exact for the full 64-bit range, both signs.
+                return a.is_unsigned_integer() == b.is_unsigned_integer() &&
+                       a.integer_magnitude() == b.integer_magnitude();
+            }
+            return a.as_double() == b.as_double();
+        case serve::json_kind::string:
+            return a.as_string() == b.as_string();
+        case serve::json_kind::array: {
+            if (a.items().size() != b.items().size()) return false;
+            for (std::size_t i = 0; i < a.items().size(); ++i) {
+                if (!json_equal(a.items()[i], b.items()[i])) return false;
+            }
+            return true;
+        }
+        case serve::json_kind::object: {
+            if (a.members().size() != b.members().size()) return false;
+            for (std::size_t i = 0; i < a.members().size(); ++i) {
+                if (a.members()[i].first != b.members()[i].first) return false;
+                if (!json_equal(a.members()[i].second, b.members()[i].second)) {
+                    return false;
+                }
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+TEST(serve_json_property, generated_value_trees_round_trip_exactly) {
+    fuzz_rng rng(0xA11CE);
+    for (int iter = 0; iter < 500; ++iter) {
+        const serve::json_value value = rand_json_value(rng, 5);
+        const std::string text = serve::json_dump(value);
+        std::string error;
+        const auto back = serve::json_parse(text, &error);
+        ASSERT_TRUE(back.has_value()) << text << " -> " << error;
+        EXPECT_TRUE(json_equal(value, *back)) << text;
+        // And the dump of the parse is a fixed point: bytes are stable after
+        // one round, which is what lets rows be diffed across processes.
+        EXPECT_EQ(serve::json_dump(*back), text);
+    }
+}
+
+TEST(serve_json_property, integral_doubles_and_extreme_integers_keep_their_kind) {
+    // 2.0 must not collapse into the integer 2 on the wire, and 64-bit
+    // integers of both signs must survive bit-exactly.
+    const auto two = serve::json_parse(serve::json_dump(serve::json_value::make_number(2.0)));
+    ASSERT_TRUE(two.has_value());
+    EXPECT_TRUE(two->is_number());
+    EXPECT_FALSE(two->is_integer()) << "2.0 must stay a non-integer number";
+    EXPECT_DOUBLE_EQ(two->as_double(), 2.0);
+
+    for (const i64 v : {i64{0} - INT64_MAX, INT64_MIN, i64{-1}, i64{-4503599627370497}}) {
+        const serve::json_value orig = serve::json_value::make_integer(v);
+        const auto back = serve::json_parse(serve::json_dump(orig));
+        ASSERT_TRUE(back.has_value()) << v;
+        EXPECT_TRUE(back->is_integer()) << v;
+        EXPECT_EQ(back->integer_magnitude(), orig.integer_magnitude()) << v;
+    }
+    const serve::json_value umax = serve::json_value::make_unsigned(~u64{0});
+    EXPECT_EQ(serve::json_dump(umax), "18446744073709551615");
+}
+
+TEST(serve_json_property, escape_torture_strings_round_trip) {
+    fuzz_rng rng(0xE5CA9E);
+    for (int iter = 0; iter < 300; ++iter) {
+        const std::string s = rand_string(rng, 40);
+        const std::string quoted = "\"" + serve::json_escape(s) + "\"";
+        const auto back = serve::json_parse(quoted);
+        ASSERT_TRUE(back.has_value()) << quoted;
+        EXPECT_EQ(back->as_string(), s) << quoted;
+    }
+}
+
+TEST(serve_protocol_property, generated_requests_round_trip_through_wire_form) {
+    fuzz_rng rng(0xF00D);
+    static const char* const scenarios[] = {
+        "vanilla", "nzdc", "ea-lockstep", "meek/f2/opt/4", "meek/axi/def/2", "meek",
+    };
+    for (int iter = 0; iter < 400; ++iter) {
+        serve::run_request req;
+        req.id = rand_string(rng, 10);
+        req.scenario = scenarios[rng() % 6];
+        if (req.scenario == "meek") {
+            // Inline knobs are only legal with the literal "meek" scenario;
+            // parse does not validate their values (resolve does), so any
+            // token must survive the wire.
+            if (rng() % 2) req.cores = rand_positive_u64(rng);
+            if (rng() % 2) req.fabric = rand_string(rng, 6) + "f";
+            if (rng() % 2) req.tuning = rand_string(rng, 6) + "t";
+        }
+        req.workload = rand_string(rng, 8) + "w";  // non-empty: required field
+        req.instructions = rand_positive_u64(rng);
+        req.seed = rand_u64(rng);
+        req.repeats = 1 + rng() % 1'000'000;  // the wire caps repeats at 1e6
+
+        const std::string line = serve::to_json(req);
+        const serve::parsed_request back = serve::parse_request(line);
+        ASSERT_TRUE(back.ok()) << line << " -> " << back.error;
+        EXPECT_EQ(back.request.id, req.id) << line;
+        EXPECT_EQ(back.request.scenario, req.scenario) << line;
+        EXPECT_EQ(back.request.cores, req.cores) << line;
+        EXPECT_EQ(back.request.fabric, req.fabric) << line;
+        EXPECT_EQ(back.request.tuning, req.tuning) << line;
+        EXPECT_EQ(back.request.workload, req.workload) << line;
+        EXPECT_EQ(back.request.instructions, req.instructions) << line;
+        EXPECT_EQ(back.request.seed, req.seed) << line;
+        EXPECT_EQ(back.request.repeats, req.repeats) << line;
+    }
+}
+
+TEST(serve_protocol_property, generated_response_rows_round_trip) {
+    fuzz_rng rng(0xB0B);
+    for (int iter = 0; iter < 400; ++iter) {
+        serve::response_row row;
+        row.request_index = rand_extreme_u64(rng);
+        row.repeat = rng() % 16;
+        row.id = rand_string(rng, 10);
+        if (rng() % 4 == 0) {
+            row.error = rand_string(rng, 20) + "!";
+        } else {
+            row.seed = rand_u64(rng);
+            row.outcome.scenario = rand_string(rng, 8) + "s";
+            row.outcome.workload = rand_string(rng, 8) + "w";
+            row.outcome.cycles = rand_extreme_u64(rng);
+            row.outcome.instructions = rand_extreme_u64(rng);
+            row.outcome.ipc = std::abs(rand_double(rng));
+            row.outcome.verified_ok = rng() % 2 == 0;
+            row.outcome.skipped = rng() % 2 == 0;
+            row.outcome.replayed_instructions = rand_extreme_u64(rng);
+            row.outcome.checker_compute_cycles = rand_extreme_u64(rng);
+            row.outcome.stats.stall_collecting = rand_extreme_u64(rng);
+            row.outcome.stats.stall_forwarding = rand_extreme_u64(rng);
+            row.outcome.stats.stall_checker = rand_extreme_u64(rng);
+        }
+
+        const std::string line = serve::to_json(row);
+        const auto back = serve::parse_response(line);
+        ASSERT_TRUE(back.has_value()) << line;
+        EXPECT_EQ(back->request_index, row.request_index) << line;
+        EXPECT_EQ(back->repeat, row.repeat) << line;
+        EXPECT_EQ(back->id, row.id) << line;
+        EXPECT_EQ(back->error, row.error) << line;
+        if (!row.error.empty()) continue;  // error rows carry no outcome
+        EXPECT_EQ(back->seed, row.seed) << line;
+        EXPECT_EQ(back->outcome.scenario, row.outcome.scenario) << line;
+        EXPECT_EQ(back->outcome.workload, row.outcome.workload) << line;
+        EXPECT_EQ(back->outcome.cycles, row.outcome.cycles) << line;
+        EXPECT_EQ(back->outcome.instructions, row.outcome.instructions) << line;
+        EXPECT_EQ(back->outcome.verified_ok, row.outcome.verified_ok) << line;
+        EXPECT_EQ(back->outcome.skipped, row.outcome.skipped) << line;
+        EXPECT_EQ(back->outcome.replayed_instructions,
+                  row.outcome.replayed_instructions)
+            << line;
+        EXPECT_EQ(back->outcome.checker_compute_cycles,
+                  row.outcome.checker_compute_cycles)
+            << line;
+        EXPECT_EQ(back->outcome.stats.stall_collecting,
+                  row.outcome.stats.stall_collecting)
+            << line;
+        // ipc travels as fixed 6-decimal text; compare at that precision.
+        char want[64], got[64];
+        std::snprintf(want, sizeof want, "%.6f", row.outcome.ipc);
+        std::snprintf(got, sizeof got, "%.6f", back->outcome.ipc);
+        EXPECT_STREQ(got, want) << line;
+    }
+}
+
+TEST(serve_json_fuzz, malformed_corpus_fails_cleanly_with_no_partial_rows) {
+    const std::filesystem::path corpus_dir =
+        std::filesystem::path(MEEK_DATA_DIR) / "json_corpus";
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(corpus_dir)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    ASSERT_GE(files.size(), 5u) << "corpus missing from " << corpus_dir;
+
+    int cases = 0;
+    for (const auto& path : files) {
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good()) << path;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty()) continue;  // separators in the corpus files
+            ++cases;
+            std::string error;
+            EXPECT_FALSE(serve::json_parse(line, &error).has_value())
+                << path << ": " << line;
+            EXPECT_FALSE(error.empty()) << path << ": " << line;
+            // No partial row: the request parser must reject it outright,
+            // never hand back a half-filled request.
+            const serve::parsed_request parsed = serve::parse_request(line);
+            EXPECT_FALSE(parsed.ok()) << path << ": " << line;
+            EXPECT_FALSE(parsed.error.empty()) << path << ": " << line;
+        }
+    }
+    EXPECT_GE(cases, 40) << "corpus unexpectedly thin";
+}
+
+TEST(serve_json_fuzz, mutated_valid_rows_never_crash_the_parser) {
+    // Flip/insert/delete bytes of well-formed rows; the parser must either
+    // parse (some mutations stay valid) or fail with an error — not crash.
+    fuzz_rng rng(0xDEAD);
+    serve::run_request req;
+    req.id = "mutate-me";
+    req.scenario = "meek/f2/opt/4";
+    req.workload = "hmmer";
+    const std::string base = serve::to_json(req);
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::string line = base;
+        const int edits = 1 + static_cast<int>(rng() % 4);
+        for (int e = 0; e < edits; ++e) {
+            const std::size_t pos = rng() % line.size();
+            switch (rng() % 3) {
+                case 0: line[pos] = static_cast<char>(rng() % 256); break;
+                case 1: line.insert(pos, 1, static_cast<char>(rng() % 256)); break;
+                default: line.erase(pos, 1); break;
+            }
+            if (line.empty()) line = "x";
+        }
+        std::string error;
+        const auto doc = serve::json_parse(line, &error);
+        if (!doc) {
+            EXPECT_FALSE(error.empty()) << line;
+        }
+        (void)serve::parse_request(line);  // must not crash either way
+    }
+}
+
 // --------------------------------------------------------------- protocol ---
 
 TEST(serve_protocol, request_round_trips_through_wire_form) {
@@ -108,6 +449,8 @@ TEST(serve_protocol, malformed_requests_are_rejected_with_reasons) {
          "positive integer"},
         {R"({"scenario":"vanilla","workload":"hmmer","repeats":-1})",
          "positive integer"},
+        {R"({"scenario":"vanilla","workload":"hmmer","repeats":1000001})",
+         "out of range"},
         {R"({"scenario":"vanilla","workload":"hmmer","instructions":-5})",
          "positive integer"},
         {R"({"scenario":"vanilla","workload":"hmmer","seed":-3})",
@@ -466,6 +809,156 @@ TEST(serve_service, repeats_fan_out_into_derived_seeds_in_order) {
     }
     // Distinct workload instances: the repeats are not one simulation echoed.
     EXPECT_NE(rows[0].outcome.cycles, rows[1].outcome.cycles);
+}
+
+TEST(outcome_cache, concurrent_overlapping_keys_compute_once_and_agree) {
+    // N threads hammer one cache with the same K keys in different orders.
+    // In-flight dedup must collapse every key to exactly one simulation
+    // (K misses total, everything else hits), and every thread must see the
+    // same outcome bytes for a given key.
+    constexpr std::size_t k_threads = 8;
+    constexpr std::size_t k_keys = 6;
+    constexpr std::size_t k_rounds = 4;
+
+    serve::outcome_cache cache(k_keys);
+    std::vector<sim::run_spec> specs;
+    for (std::size_t k = 0; k < k_keys; ++k) {
+        specs.push_back(quick_spec("vanilla", "hmmer", 6'000, /*seed=*/100 + k));
+    }
+
+    std::vector<std::vector<sim::run_outcome>> seen(k_threads,
+                                                    std::vector<sim::run_outcome>(k_keys));
+    std::atomic<std::size_t> ready{0};
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < k_threads; ++t) {
+        threads.emplace_back([&, t] {
+            ++ready;
+            while (ready.load() < k_threads) {
+            }  // start the stampede together
+            for (std::size_t round = 0; round < k_rounds; ++round) {
+                for (std::size_t i = 0; i < k_keys; ++i) {
+                    // Rotated traversal per (thread, round): every thread
+                    // touches every key, in overlapping, non-lock-step order.
+                    const std::size_t k = (i + t + round) % k_keys;
+                    seen[t][k] = cache.outcome_for(specs[k]);
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    const serve::outcome_cache_stats s = cache.stats();
+    EXPECT_EQ(s.misses, k_keys) << "each key must simulate exactly once";
+    EXPECT_EQ(s.hits, k_threads * k_keys * k_rounds - k_keys);
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_EQ(cache.size(), k_keys);
+    for (std::size_t t = 0; t < k_threads; ++t) {
+        for (std::size_t k = 0; k < k_keys; ++k) {
+            expect_same_outcome(seen[t][k], seen[0][k]);
+        }
+    }
+}
+
+TEST(outcome_cache, lru_order_survives_concurrent_hammering) {
+    // After a contended phase, the LRU list and index must still agree:
+    // a deterministic serial probe sequence shows coldest-first eviction.
+    constexpr std::size_t k_threads = 8;
+    serve::outcome_cache cache(3);
+    const sim::run_spec a = quick_spec("vanilla", "hmmer", 6'000, 1);
+    const sim::run_spec b = quick_spec("vanilla", "hmmer", 6'000, 2);
+    const sim::run_spec c = quick_spec("vanilla", "hmmer", 6'000, 3);
+    const sim::run_spec d = quick_spec("vanilla", "hmmer", 6'000, 4);
+
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < k_threads; ++t) {
+        threads.emplace_back([&] {
+            for (int round = 0; round < 6; ++round) {
+                cache.outcome_for(a);
+                cache.outcome_for(b);
+                cache.outcome_for(c);
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // Serial epilogue: touch a then b, insert d => c is coldest and must be
+    // the one evicted; a and b still hit, c re-misses.
+    cache.outcome_for(a);
+    cache.outcome_for(b);
+    cache.outcome_for(d);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    const u64 hits_before = cache.stats().hits;
+    cache.outcome_for(a);
+    cache.outcome_for(b);
+    EXPECT_EQ(cache.stats().hits, hits_before + 2) << "a and b must have survived";
+    cache.outcome_for(c);
+    EXPECT_EQ(cache.stats().misses, 5u) << "c was the eviction victim";
+}
+
+TEST(serve_service, crlf_batches_frame_and_serve_identically_to_lf) {
+    // The CRLF bugfix pin: framing strips the trailing '\r' before any line
+    // reaches the JSON parser, so a CRLF client's rows are byte-identical to
+    // an LF client's — including a whitespace-only "\r" line acting as the
+    // batch terminator.
+    const std::string lf =
+        R"({"id":"x","scenario":"vanilla","workload":"hmmer","instructions":6000})"
+        "\n"
+        R"({"scenario":"meek/f2/opt/2","workload":"hmmer","instructions":6000})"
+        "\n\n";
+    std::string crlf;
+    for (const char ch : lf) {
+        if (ch == '\n') crlf += "\r\n";
+        else crlf += ch;
+    }
+
+    serve::service svc({.threads = 2});
+    std::istringstream lf_in(lf), crlf_in(crlf);
+    std::ostringstream lf_out, crlf_out;
+    serve::batch_stats lf_stats, crlf_stats;
+    EXPECT_TRUE(svc.serve_batch(lf_in, lf_out, &lf_stats));
+    EXPECT_TRUE(svc.serve_batch(crlf_in, crlf_out, &crlf_stats));
+    EXPECT_FALSE(lf_out.str().empty());
+    EXPECT_EQ(lf_out.str(), crlf_out.str());
+    EXPECT_EQ(lf_stats.requests, 2u);
+    EXPECT_EQ(crlf_stats.requests, 2u);
+    EXPECT_EQ(crlf_stats.errors, 0u) << "no '\\r' may reach the JSON parser";
+
+    // And the framing layer itself: read_batch_lines hands the parser
+    // CR-free lines.
+    std::istringstream raw("{\"a\":1}\r\n\r\n");
+    const std::vector<std::string> lines = serve::read_batch_lines(raw);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "{\"a\":1}");
+}
+
+TEST(serve_service, framed_batches_end_with_one_blank_line) {
+    const std::string input =
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000})"
+        "\n\n"
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":2})"
+        "\n";
+    std::istringstream plain_in(input), framed_in(input);
+    std::ostringstream plain_out, framed_out;
+    serve::service svc({.threads = 2});
+    svc.serve_stream(plain_in, plain_out, /*framed=*/false);
+    svc.serve_stream(framed_in, framed_out, /*framed=*/true);
+
+    // Framed output = plain output + one blank line after each batch's rows.
+    std::istringstream plain_rows(plain_out.str());
+    std::string expected;
+    std::string row;
+    int batch_row = 0;
+    while (std::getline(plain_rows, row)) {
+        expected += row + "\n";
+        // one row per batch in this input
+        expected += "\n";
+        ++batch_row;
+    }
+    EXPECT_EQ(batch_row, 2);
+    EXPECT_EQ(framed_out.str(), expected);
 }
 
 TEST(serve_service, stream_mode_frames_batches_on_blank_lines) {

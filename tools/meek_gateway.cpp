@@ -1,0 +1,146 @@
+// meek_gateway — the sharding front-end for a pool of meek_serve workers.
+//
+// Accepts the same blank-line-framed NDJSON batches as meek_serve on stdin
+// (or --requests FILE), shards each batch's request lines round-robin across
+// the worker pool, and merges the returned rows preserving global (request,
+// repeat) order — stdout is byte-identical to a single-process meek_serve
+// run of the same input. A worker that dies mid-batch turns into error rows
+// in its slots; the batch never aborts.
+//
+// Worker pool:
+//   meek_gateway --workers 3                 spawn 3 meek_serve child
+//                                            processes (sibling binary of
+//                                            this one, or --worker-cmd PATH)
+//   meek_gateway --endpoint tcp:host:port
+//                --endpoint unix:/tmp/w.sock connect to running framed
+//                                            daemons (meek_serve --listen),
+//                                            one worker per --endpoint
+//
+// Options:
+//   --workers N            child worker processes (default 2)
+//   --worker-cmd PATH      worker binary (default: meek_serve next to argv[0])
+//   --endpoint ADDR        repeatable; use remote sockets instead of children
+//   --threads N            per-worker simulation threads (children only)
+//   --cache-capacity N     per-worker workload cache entries (children only)
+//   --outcome-capacity N   per-worker outcome cache entries (children only)
+//   --requests FILE        one-shot: serve the file's batches, then exit
+//   --framed               terminate each output batch with a blank line
+//   --quiet                suppress the stderr session summary
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/gateway.h"
+
+using namespace meek;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--workers N] [--worker-cmd PATH] [--endpoint ADDR]... \n"
+                 "          [--threads N] [--cache-capacity N] [--outcome-capacity N]\n"
+                 "          [--requests FILE] [--framed] [--quiet]\n",
+                 argv0);
+    return 2;
+}
+
+// The default worker command: the meek_serve binary that was built next to
+// this gateway. Falls back to PATH lookup when argv0 carries no directory.
+std::string sibling_meek_serve(const char* argv0) {
+    const std::filesystem::path self(argv0);
+    if (!self.has_parent_path()) return "meek_serve";
+    return (self.parent_path() / "meek_serve").string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    serve::gateway_options opts;
+    std::string worker_cmd = sibling_meek_serve(argv[0]);
+    std::vector<std::string> worker_extra_args;
+    std::string requests_file;
+    bool framed = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workers") {
+            opts.workers = static_cast<u32>(std::strtoul(next_value("--workers"), nullptr, 10));
+        } else if (arg == "--worker-cmd") {
+            worker_cmd = next_value("--worker-cmd");
+        } else if (arg == "--endpoint") {
+            std::string error;
+            const auto addr = serve::parse_endpoint(next_value("--endpoint"), &error);
+            if (!addr) {
+                std::fprintf(stderr, "bad --endpoint: %s\n", error.c_str());
+                return 2;
+            }
+            opts.endpoints.push_back(*addr);
+        } else if (arg == "--threads" || arg == "--cache-capacity" ||
+                   arg == "--outcome-capacity") {
+            worker_extra_args.push_back(arg);
+            worker_extra_args.push_back(next_value(arg.c_str()));
+        } else if (arg == "--requests") {
+            requests_file = next_value("--requests");
+        } else if (arg == "--framed") {
+            framed = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (opts.endpoints.empty() && opts.workers == 0) {
+        std::fprintf(stderr, "--workers must be positive (or give --endpoint)\n");
+        return 2;
+    }
+
+    opts.worker_argv = {worker_cmd, "--framed", "--quiet"};
+    opts.worker_argv.insert(opts.worker_argv.end(), worker_extra_args.begin(),
+                            worker_extra_args.end());
+
+    serve::gateway gw(opts);
+    if (!gw.ok()) {
+        std::fprintf(stderr, "no worker came up (cmd '%s', %zu endpoint(s))\n",
+                     worker_cmd.c_str(), opts.endpoints.size());
+        return 1;
+    }
+
+    serve::gateway_stats stats;
+    if (!requests_file.empty()) {
+        std::ifstream in(requests_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot open requests file '%s'\n",
+                         requests_file.c_str());
+            return 1;
+        }
+        stats = gw.serve_stream(in, std::cout, framed);
+    } else {
+        stats = gw.serve_stream(std::cin, std::cout, framed);
+    }
+
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "# gateway: workers=%zu alive=%zu requests=%llu rows=%llu "
+                     "errors=%llu worker_failures=%llu\n",
+                     gw.worker_count(), gw.alive_workers(),
+                     static_cast<unsigned long long>(stats.requests),
+                     static_cast<unsigned long long>(stats.rows),
+                     static_cast<unsigned long long>(stats.errors),
+                     static_cast<unsigned long long>(stats.worker_failures));
+    }
+    return 0;
+}

@@ -10,12 +10,18 @@
 //   meek_search                                  default grid, exhaustive
 //   meek_search --strategy halving --keep 0.25   cheap rung, then survivors
 //   meek_search --shard 0/4 --checkpoint-dir d   evaluate every 4th point
+//   meek_search --workers 4 --checkpoint-dir d   spawn 4 shard processes,
+//                                                wait, merge — one command
 //
 // Sharding: each `--shard k/n` invocation evaluates its slice and persists
 // per-point checkpoints; the invocation that finds every other shard's
 // checkpoints present emits the complete merged frontier, byte-identical to
 // an unsharded run. `--resume` also reuses this shard's own completed
 // checkpoints, so a killed shard restarts at its first missing point.
+// `--workers n` is the single-command form of the same protocol: it spawns n
+// copies of this invocation as `--shard k/n` child processes (the serve
+// layer's process-endpoint transport), waits for them, and then emits the
+// merged frontier itself.
 //
 // stdout carries only result rows (CSV by default, `--format ndjson` for
 // line-delimited JSON; `--all` emits dominated rows too, with a frontier 0/1
@@ -35,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "search/dispatch.h"
 #include "search/driver.h"
 #include "serve/outcome_cache.h"
 #include "sim/executor.h"
@@ -52,7 +59,7 @@ int usage(const char* argv0) {
         "          [--sample-seed N] [--keep F] [--budget-div N]\n"
         "          [--probe-faults N] [--probe-seed N]\n"
         "          [--grid key=v1,v2,...] [--no-registry]\n"
-        "          [--shard K/N] [--checkpoint-dir DIR] [--resume]\n"
+        "          [--shard K/N | --workers N] [--checkpoint-dir DIR] [--resume]\n"
         "          [--threads N] [--format csv|ndjson] [--all]\n",
         argv0);
     return 2;
@@ -122,6 +129,8 @@ int main(int argc, char** argv) {
     bool include_registry = true;
     bool frontier_only = true;
     bool ndjson = false;
+    bool shard_given = false;
+    u32 workers = 0;
     u32 threads = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -175,6 +184,9 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "--shard wants K/N with K < N\n");
                 return 2;
             }
+            shard_given = true;
+        } else if (arg == "--workers") {
+            workers = static_cast<u32>(std::strtoul(next_value("--workers"), nullptr, 10));
         } else if (arg == "--checkpoint-dir") {
             opts.checkpoint_dir = next_value("--checkpoint-dir");
         } else if (arg == "--resume") {
@@ -205,7 +217,47 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--shard needs --checkpoint-dir to merge across runs\n");
         return 2;
     }
+    if (workers > 0 && shard_given) {
+        std::fprintf(stderr, "--workers spawns its own --shard children; pick one\n");
+        return 2;
+    }
+    if (workers > 1 && opts.checkpoint_dir.empty()) {
+        std::fprintf(stderr, "--workers needs --checkpoint-dir for the shard merge\n");
+        return 2;
+    }
     if (!grid_given) grid = search::default_grid();
+
+    if (workers > 1) {
+        // Re-issue this exact invocation as one child per shard (minus the
+        // --workers flag), wait, then fall through and merge: with every
+        // checkpoint present the search below simulates nothing.
+        search::shard_dispatch_options dispatch;
+        dispatch.shard_count = workers;
+        for (int i = 0; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--workers") == 0) {
+                ++i;  // skip the value too
+                continue;
+            }
+            dispatch.argv_base.emplace_back(argv[i]);
+        }
+        std::fprintf(stderr, "# dispatching %u shard worker(s)\n", workers);
+        const search::shard_dispatch_result spawned = search::dispatch_shards(dispatch);
+        if (!spawned.ok) {
+            if (!spawned.error.empty()) {
+                std::fprintf(stderr, "shard dispatch failed: %s\n", spawned.error.c_str());
+            }
+            for (std::size_t k = 0; k < spawned.exit_codes.size(); ++k) {
+                if (spawned.exit_codes[k] != 0) {
+                    std::fprintf(stderr, "shard %zu/%u exited with %d\n", k, workers,
+                                 spawned.exit_codes[k]);
+                }
+            }
+            return 1;
+        }
+        opts.shard_index = 0;
+        opts.shard_count = workers;
+        opts.resume = true;
+    }
 
     const std::vector<search::design_point> points =
         search::enumerate_points(grid, include_registry);

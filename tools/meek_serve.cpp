@@ -6,12 +6,20 @@
 //                                   is one batch; rows stream back per batch.
 //   meek_serve --requests FILE      one-shot: serve every batch in FILE,
 //                                   then exit.
+//   meek_serve --listen ADDR        network daemon: accept clients on a
+//                                   tcp:HOST:PORT or unix:PATH endpoint and
+//                                   serve each connection's batches (framed:
+//                                   each batch's rows end with a blank line).
 //
 // Options:
 //   --threads N            worker threads (default: MEEK_THREADS / hardware)
 //   --cache-capacity N     workload cache entries (default 64; 0 disables)
 //   --outcome-capacity N   completed-result cache entries (default 256;
 //                          0 disables — every request simulates)
+//   --framed               stdio modes: terminate each batch's rows with a
+//                          blank line (what the gateway expects of a worker)
+//   --max-connections N    --listen: exit after serving N clients (0 = run
+//                          until killed)
 //   --quiet                suppress the stderr session summary
 //
 // stdout carries only response rows — byte-identical for a given input at
@@ -25,6 +33,7 @@
 #include <string>
 
 #include "serve/service.h"
+#include "serve/transport.h"
 
 using namespace meek;
 
@@ -32,8 +41,9 @@ namespace {
 
 int usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--requests FILE] [--threads N] [--cache-capacity N] "
-                 "[--outcome-capacity N] [--quiet]\n",
+                 "usage: %s [--requests FILE | --listen ADDR] [--threads N] "
+                 "[--cache-capacity N] [--outcome-capacity N] [--framed] "
+                 "[--max-connections N] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -42,7 +52,10 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
     std::string requests_file;
+    std::string listen_spec;
     serve::service_options opts;
+    u64 max_connections = 0;
+    bool framed = false;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -56,6 +69,12 @@ int main(int argc, char** argv) {
         };
         if (arg == "--requests") {
             requests_file = next_value("--requests");
+        } else if (arg == "--listen") {
+            listen_spec = next_value("--listen");
+        } else if (arg == "--max-connections") {
+            max_connections = std::strtoull(next_value("--max-connections"), nullptr, 10);
+        } else if (arg == "--framed") {
+            framed = true;
         } else if (arg == "--threads") {
             opts.threads = static_cast<u32>(std::strtoul(next_value("--threads"), nullptr, 10));
         } else if (arg.rfind("--threads=", 0) == 0) {
@@ -76,19 +95,49 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (!requests_file.empty() && !listen_spec.empty()) {
+        std::fprintf(stderr, "--requests and --listen are mutually exclusive\n");
+        return 2;
+    }
+
     serve::service svc(opts);
     serve::batch_stats stats;
 
-    if (!requests_file.empty()) {
+    if (!listen_spec.empty()) {
+        std::string error;
+        const auto addr = serve::parse_endpoint(listen_spec, &error);
+        if (!addr) {
+            std::fprintf(stderr, "bad --listen endpoint: %s\n", error.c_str());
+            return 2;
+        }
+        const auto lis = serve::listener::open(*addr, &error);
+        if (!lis) {
+            std::fprintf(stderr, "cannot listen: %s\n", error.c_str());
+            return 1;
+        }
+        // The resolved address (ephemeral tcp ports in particular) goes to
+        // stderr so a driver can discover where to connect.
+        std::fprintf(stderr, "# listening on %s\n", lis->address().describe().c_str());
+        const serve::serve_connections_stats cs =
+            serve::serve_connections(svc, *lis, {.max_connections = max_connections});
+        stats.requests = cs.requests;
+        stats.rows = cs.rows;
+        stats.errors = cs.errors;
+        stats.jobs = cs.jobs;
+        if (!quiet) {
+            std::fprintf(stderr, "# connections=%llu\n",
+                         static_cast<unsigned long long>(cs.connections));
+        }
+    } else if (!requests_file.empty()) {
         std::ifstream in(requests_file);
         if (!in) {
             std::fprintf(stderr, "cannot open requests file '%s'\n",
                          requests_file.c_str());
             return 1;
         }
-        stats = svc.serve_stream(in, std::cout);
+        stats = svc.serve_stream(in, std::cout, framed);
     } else {
-        stats = svc.serve_stream(std::cin, std::cout);
+        stats = svc.serve_stream(std::cin, std::cout, framed);
     }
 
     if (!quiet) {
