@@ -60,4 +60,19 @@ inline void check_shape(const char* what, bool holds) {
     std::printf("[shape] %-58s %s\n", what, holds ? "OK" : "DEVIATES");
 }
 
+// One-line scheduler summary on stderr (stdout stays diffable): per-job
+// wall-time skew plus the work-stealing counters, so a campaign can tell a
+// placement problem (max >> mean, zero steals) from a genuinely serial tail.
+inline void print_scheduler_summary(const sim::executor& ex) {
+    const sim::executor_timing t = ex.timing();
+    const sched::pool_stats s = ex.scheduler_stats();
+    std::fprintf(stderr,
+                 "# sched: threads=%u jobs=%zu steals=%llu steal_attempts=%llu "
+                 "job_ms min=%.2f mean=%.2f max=%.2f total=%.2f\n",
+                 ex.num_threads(), t.jobs,
+                 static_cast<unsigned long long>(s.steals()),
+                 static_cast<unsigned long long>(s.steal_attempts()), t.min_ms,
+                 t.mean_ms, t.max_ms, t.total_ms);
+}
+
 }  // namespace meek::bench

@@ -110,5 +110,6 @@ int main(int argc, char** argv) {
     // slack than the paper's binaries did, so the band is wider.
     check_shape("Nzdc overhead is heavy (> 20% geomean)",
                 spec_nz > 1.20 && par_nz > 1.20);
+    print_scheduler_summary(ex);
     return 0;
 }

@@ -100,5 +100,6 @@ int main(int argc, char** argv) {
     check_shape("average detection latency below 1 us", worst_mean < 1000.0);
     check_shape("worst case within ~3 us", worst_max <= 3200.0);
     check_shape("3 us covers > 99% of detected faults", coverage > 0.99);
+    print_scheduler_summary(ex);
     return 0;
 }

@@ -1,0 +1,52 @@
+#include "sched/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace meek::sched {
+namespace {
+
+double sane_cost(double c) { return (std::isfinite(c) && c > 0.0) ? c : 0.0; }
+
+}  // namespace
+
+std::vector<std::size_t> balanced_assignment(std::span<const double> costs,
+                                             std::size_t bins) {
+    std::vector<std::size_t> assignment(costs.size(), 0);
+    if (bins <= 1 || costs.empty()) return assignment;
+
+    // Descending cost, stable: equal-cost items keep submission order, which
+    // is what makes the uniform case collapse to round-robin.
+    std::vector<std::size_t> order(costs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&costs](std::size_t a, std::size_t b) {
+        return sane_cost(costs[a]) > sane_cost(costs[b]);
+    });
+
+    // Linear argmin per item: bins is a worker count (a handful), so a heap
+    // would cost more in constants than it saves.
+    std::vector<double> load(bins, 0.0);
+    for (const std::size_t item : order) {
+        std::size_t best = 0;
+        for (std::size_t b = 1; b < bins; ++b) {
+            if (load[b] < load[best]) best = b;
+        }
+        assignment[item] = best;
+        load[best] += sane_cost(costs[item]);
+    }
+    return assignment;
+}
+
+std::vector<double> bin_loads(std::span<const double> costs,
+                              std::span<const std::size_t> assignment,
+                              std::size_t bins) {
+    std::vector<double> load(bins, 0.0);
+    const std::size_t n = std::min(costs.size(), assignment.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (assignment[i] < bins) load[assignment[i]] += sane_cost(costs[i]);
+    }
+    return load;
+}
+
+}  // namespace meek::sched

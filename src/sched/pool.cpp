@@ -1,0 +1,127 @@
+#include "sched/pool.h"
+
+#include <chrono>
+
+namespace meek::sched {
+
+pool::pool(u32 threads) {
+    const u32 n = threads > 0 ? threads : 1;
+    workers_.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+        workers_.push_back(std::make_unique<worker_state>());
+    }
+    threads_.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+        threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+pool::~pool() {
+    stopping_.store(true, std::memory_order_release);
+    {
+        // Taking the sleep mutex orders the flag before any sleeper's
+        // predicate re-check, so no worker can block after the flag is up.
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void pool::post(std::size_t home, task t) {
+    worker_state& w = *workers_[home % workers_.size()];
+    // Count before publishing: if the push landed first, a worker could pop
+    // the task and fetch_sub below zero, wrapping the counter and turning
+    // every sleeper's "queued_ > 0" predicate into a busy spin until this
+    // thread caught up. Counting first only risks one benign spurious scan.
+    queued_.fetch_add(1, std::memory_order_release);
+    w.deque.push_bottom(std::move(t));
+    {
+        // Same fence dance as the destructor: without this, the increment
+        // could land between a sleeper's predicate check and its block,
+        // and the notify would hit nobody.
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+    }
+    wake_.notify_one();
+}
+
+bool pool::acquire(std::size_t self, task* out, bool* stolen, u64* attempts) {
+    if (workers_[self]->deque.pop_bottom(out)) {
+        *stolen = false;
+        return true;
+    }
+    const std::size_t n = workers_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        const std::size_t victim = (self + k) % n;
+        ++*attempts;
+        if (workers_[victim]->deque.steal_top(out)) {
+            *stolen = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+void pool::worker_loop(std::size_t self) {
+    worker_state& me = *workers_[self];
+    for (;;) {
+        task t;
+        bool stolen = false;
+        u64 attempts = 0;
+        const bool got = acquire(self, &t, &stolen, &attempts);
+        if (attempts > 0) {
+            std::lock_guard<std::mutex> lock(me.counters_mutex);
+            me.counters.steal_attempts += attempts;
+        }
+        if (got) {
+            queued_.fetch_sub(1, std::memory_order_acq_rel);
+            {
+                // Counted before the task runs: a caller that joined a batch
+                // through its futures then reads stats() must see every one
+                // of its jobs in `executed` (the body completes after this
+                // increment in this thread's program order).
+                std::lock_guard<std::mutex> lock(me.counters_mutex);
+                ++me.counters.executed;
+                if (stolen) ++me.counters.stolen;
+            }
+            const auto start = std::chrono::steady_clock::now();
+            t();
+            const double ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+            std::lock_guard<std::mutex> lock(me.counters_mutex);
+            me.counters.busy_ms += ms;
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        wake_.wait(lock, [this] {
+            return stopping_.load(std::memory_order_acquire) ||
+                   queued_.load(std::memory_order_acquire) > 0;
+        });
+        // Drain-on-stop: only exit once nothing is queued anywhere. A task
+        // another worker is *running* is its problem — the destructor joins
+        // everyone, so nothing is abandoned.
+        if (stopping_.load(std::memory_order_acquire) &&
+            queued_.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+    }
+}
+
+pool_stats pool::stats() const {
+    pool_stats s;
+    s.workers.reserve(workers_.size());
+    for (const auto& w : workers_) {
+        std::lock_guard<std::mutex> lock(w->counters_mutex);
+        s.workers.push_back(w->counters);
+    }
+    return s;
+}
+
+void pool::reset_stats() {
+    for (const auto& w : workers_) {
+        std::lock_guard<std::mutex> lock(w->counters_mutex);
+        w->counters = worker_counters{};
+    }
+}
+
+}  // namespace meek::sched

@@ -10,6 +10,7 @@
 #include "area/area_model.h"
 #include "common/bits.h"
 #include "fault/campaign.h"
+#include "sched/placement.h"
 #include "serve/json.h"
 #include "serve/workload_cache.h"
 #include "sim/job.h"
@@ -218,9 +219,29 @@ point_result reduce_point(const design_point& pt, const sim::run_outcome& out,
     return r;
 }
 
-// One rung's measurements over the candidate subset, sharded by candidate
-// position. results[i] is the universe-indexed slot (nullopt: not a candidate
-// or owned by a shard whose checkpoint is missing).
+// The estimated evaluation cost of one candidate on this rung: the perf
+// run's cost hint, plus — for MEEK points on a probing rung — the serial
+// fault-campaign probe, which dominates (one full SoC simulation of the
+// probe program). Drives the cost-balanced shard split below; never results.
+double candidate_cost(const design_point& pt, const workload_profile& profile,
+                      const rung_budget& budget, const search_options& opts) {
+    double cost = sim::cost_hint(perf_spec(pt, profile, budget, opts));
+    if (budget.probe && pt.sc.system == sim::system_kind::meek) {
+        const fault_campaign_config fc = probe_config(opts);
+        const double probe_instructions =
+            static_cast<double>(probe_program_length(fc));
+        cost += probe_instructions * (1.5 + 0.25 * pt.soc.num_little_cores);
+    }
+    return cost;
+}
+
+// One rung's measurements over the candidate subset, sharded by a cost-
+// balanced split of the candidate list (sched::balanced_assignment — a pure
+// function of the candidates and the rung, so every shard process derives
+// the identical ownership map; with equal costs it collapses to the old
+// "position mod shard_count" split). results[i] is the universe-indexed slot
+// (nullopt: not a candidate or owned by a shard whose checkpoint is
+// missing).
 struct rung_eval {
     std::vector<std::optional<point_result>> results;
     std::vector<u32> missing_shards;
@@ -239,9 +260,17 @@ rung_eval evaluate_rung(const std::vector<design_point>& points,
     std::vector<std::size_t> to_eval;  // universe indices this shard simulates
     std::vector<bool> missing(opts.shard_count, false);
 
+    std::vector<double> costs;
+    costs.reserve(candidates.size());
+    for (const std::size_t idx : candidates) {
+        costs.push_back(candidate_cost(points[idx], profile, budget, opts));
+    }
+    const std::vector<std::size_t> owners =
+        sched::balanced_assignment(costs, opts.shard_count);
+
     for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
         const std::size_t idx = candidates[pos];
-        const u32 owner = static_cast<u32>(pos % opts.shard_count);
+        const u32 owner = static_cast<u32>(owners[pos]);
         const bool own = owner == opts.shard_index;
         std::optional<point_result> loaded;
         if (checkpointing && (!own || opts.resume)) {

@@ -16,8 +16,12 @@
 // equal-silicon construction for EA-LockStep (its two scaled cores occupy
 // exactly big + MEEK-extra), zero for vanilla and the compiler-only nZDC.
 //
-// Sharded execution: with shard_count > 1 each process evaluates the points
-// whose candidate-list position is ≡ shard_index (mod shard_count) and
+// Sharded execution: with shard_count > 1 the candidate list is split by a
+// deterministic cost-balanced assignment (sched::balanced_assignment over
+// each point's estimated evaluation cost — perf run plus fault-probe for
+// MEEK points), so one shard does not end up owning all the expensive
+// configurations; every shard process derives the identical ownership map
+// from the candidates alone. Each process evaluates the points it owns and
 // persists one checkpoint file per (point, rung) in checkpoint_dir —
 // the fault-campaign shard-file pattern: config-fingerprint header, value
 // payload with doubles as exact bit patterns, atomic rename. A shard that

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cctype>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <thread>
 
+#include "sched/placement.h"
 #include "serve/protocol.h"
+#include "sim/job.h"
 
 namespace meek::serve {
 namespace {
@@ -29,12 +32,24 @@ bool rewrite_request_index(std::string* line, u64 global_index) {
     return true;
 }
 
+// The sharding cost of one request line: the same estimate the executor uses
+// to place the eventual sim jobs, scaled by the request's repeats. Lines that
+// do not parse or resolve cost nothing — the worker answers them with one
+// error row without simulating.
+double line_cost(const parsed_request& parsed) {
+    if (!parsed.ok()) return 0.0;
+    sim::run_spec spec;
+    if (!resolve_request(parsed.request, /*repeat=*/0, &spec).empty()) return 0.0;
+    return sim::cost_hint(spec) * static_cast<double>(parsed.request.repeats);
+}
+
 }  // namespace
 
 // One endpoint of the pool: a spawned child process or a connected socket.
 struct gateway::worker {
     std::unique_ptr<child_process> proc;
     std::unique_ptr<fd_stream> sock;
+    std::optional<endpoint_address> endpoint;  // reconnect target (socket workers)
     bool failed = false;
     std::string failure;  // diagnostic detail (not part of the wire protocol)
 
@@ -43,16 +58,37 @@ struct gateway::worker {
         return sock.get();
     }
 
+    // Revival backoff, in batches: the first retry is immediate, but a
+    // worker that keeps failing to come back is retried at doubling
+    // intervals (capped) — a dead TCP endpoint means a blocking connect()
+    // with no timeout, and paying that stall on every batch would let one
+    // unreachable host throttle the whole session.
+    u32 retry_backoff = 1;
+    u32 batches_until_retry = 0;
+
     void fail(const std::string& why) {
         failed = true;
         if (failure.empty()) failure = why;
     }
+
+    void revive() {
+        failed = false;
+        failure.clear();
+        retry_backoff = 1;
+        batches_until_retry = 0;
+    }
+
+    void revival_failed() {
+        batches_until_retry = retry_backoff;
+        retry_backoff = std::min<u32>(retry_backoff * 2, 16);
+    }
 };
 
-gateway::gateway(const gateway_options& opts) {
-    if (!opts.endpoints.empty()) {
-        for (const endpoint_address& addr : opts.endpoints) {
+gateway::gateway(const gateway_options& opts) : opts_(opts) {
+    if (!opts_.endpoints.empty()) {
+        for (const endpoint_address& addr : opts_.endpoints) {
             auto w = std::make_unique<worker>();
+            w->endpoint = addr;
             std::string error;
             w->sock = connect_endpoint(addr, &error);
             if (!w->sock) w->fail("connect " + addr.describe() + ": " + error);
@@ -60,10 +96,10 @@ gateway::gateway(const gateway_options& opts) {
         }
         return;
     }
-    for (u32 i = 0; i < opts.workers; ++i) {
+    for (u32 i = 0; i < opts_.workers; ++i) {
         auto w = std::make_unique<worker>();
         std::string error;
-        w->proc = child_process::spawn(opts.worker_argv, {}, &error);
+        w->proc = child_process::spawn(opts_.worker_argv, {}, &error);
         if (!w->proc) w->fail("spawn: " + error);
         workers_.push_back(std::move(w));
     }
@@ -92,9 +128,54 @@ std::size_t gateway::alive_workers() const {
     return n;
 }
 
+std::size_t gateway::revive_workers() {
+    std::size_t revived = 0;
+    for (const auto& wp : workers_) {
+        worker& w = *wp;
+        // A process worker that exited after a clean batch would otherwise be
+        // counted healthy until this batch's write came back EPIPE — the
+        // "dead worker looks healthy" hole.
+        if (!w.failed && w.proc && w.proc->poll_exited()) {
+            w.fail("worker exited between batches");
+        }
+        if (!w.failed) continue;
+        if (w.batches_until_retry > 0) {
+            --w.batches_until_retry;
+            continue;
+        }
+        if (w.endpoint) {
+            std::string error;
+            if (auto sock = connect_endpoint(*w.endpoint, &error)) {
+                w.sock = std::move(sock);
+                w.revive();
+                ++revived;
+            } else {
+                w.revival_failed();
+            }
+        } else if (!opts_.worker_argv.empty()) {
+            if (w.proc) {
+                w.proc->kill();
+                w.proc->wait();
+            }
+            std::string error;
+            if (auto proc = child_process::spawn(opts_.worker_argv, {}, &error)) {
+                w.proc = std::move(proc);
+                w.revive();
+                ++revived;
+            } else {
+                w.revival_failed();
+            }
+        }
+        // Still failed: the worker stays evicted — the assignment below
+        // simply routes nothing to it.
+    }
+    return revived;
+}
+
 std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines,
                                            gateway_stats* stats) {
     const std::size_t num_workers = workers_.size();
+    const std::size_t revived = revive_workers();
     const std::size_t failed_before = num_workers - alive_workers();
 
     // Per-request bookkeeping, from the gateway's own parse of each line.
@@ -102,7 +183,7 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
     // worker owe for this line" is answerable here: one per repeat, except
     // that any error row settles the request with that single row.
     struct request_state {
-        std::size_t owner = 0;  // worker index (stable: i mod N over all workers)
+        std::size_t owner = 0;  // worker index the line was assigned to
         std::string id;         // echoed into synthesized error rows
         u64 repeats = 1;
         u64 rows_received = 0;
@@ -112,22 +193,22 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
     };
     std::vector<request_state> requests(lines.size());
 
-    // Shard: line i -> worker i mod N, preserving relative order inside each
-    // sub-batch. The assignment ignores worker health so that which rows a
-    // given worker owns never depends on runtime failures. A blank line
-    // (possible through the evaluate() API; the stream path filters them)
-    // must never reach a worker — it would read as that worker's batch
-    // terminator and desync the stream — so it is settled locally with the
-    // same error row a single-process service would emit.
-    std::vector<std::vector<std::size_t>> owned(num_workers);  // global indices
+    // Pass 1: parse every line once — id/repeats for error-row synthesis,
+    // cost for the sharding below. A blank line (possible through the
+    // evaluate() API; the stream path filters them) must never reach a
+    // worker — it would read as that worker's batch terminator and desync
+    // the stream — so it is settled locally with the same error row a
+    // single-process service would emit.
+    std::vector<double> costs(lines.size(), 0.0);
+    std::vector<bool> settled_locally(lines.size(), false);
     for (std::size_t i = 0; i < lines.size(); ++i) {
         request_state& rs = requests[i];
-        rs.owner = num_workers == 0 ? 0 : i % num_workers;
         const parsed_request parsed = parse_request(strip_cr(lines[i]));
         if (parsed.ok()) {
             rs.id = parsed.request.id;
             rs.repeats = parsed.request.repeats;
         }
+        costs[i] = line_cost(parsed);
         if (is_blank_line(lines[i])) {
             response_row err;
             err.request_index = i;
@@ -135,9 +216,34 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
             rs.settled_by_error = true;
             ++rs.error_rows;
             rs.rows.emplace_back(0, to_json(err));
-            continue;
+            settled_locally[i] = true;
         }
-        if (num_workers > 0) owned[rs.owner].push_back(i);
+    }
+
+    // Pass 2: cost-aware sharding over the *live* workers. The assignment is
+    // a pure function of (costs, live set), so for a healthy pool it never
+    // depends on runtime timing; which worker owns a line can shift when the
+    // pool degrades, but row bytes and order are functions of the global
+    // index, so the merged output cannot. With no live worker at all, lines
+    // keep a nominal owner whose slots the synthesis below fills with error
+    // rows.
+    std::vector<std::size_t> alive;
+    for (std::size_t k = 0; k < num_workers; ++k) {
+        if (!workers_[k]->failed) alive.push_back(k);
+    }
+    std::vector<std::vector<std::size_t>> owned(num_workers);  // global indices
+    const std::vector<std::size_t> bins =
+        sched::balanced_assignment(costs, std::max<std::size_t>(alive.size(), 1));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        request_state& rs = requests[i];
+        if (alive.empty()) {
+            rs.owner = num_workers == 0 ? 0 : i % num_workers;
+        } else {
+            rs.owner = alive[bins[i]];
+        }
+        if (!settled_locally[i] && num_workers > 0) {
+            owned[rs.owner].push_back(i);
+        }
     }
 
     // Fan the sub-batches out, one thread per live worker: write the framed
@@ -250,6 +356,7 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
         stats->requests += lines.size();
         stats->rows += out.size();
         stats->errors += error_rows;
+        stats->workers_respawned += revived;
         // Only failures that happened during this batch; a worker lost
         // earlier in the session was already counted.
         stats->worker_failures += (num_workers - alive_workers()) - failed_before;

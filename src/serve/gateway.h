@@ -1,14 +1,20 @@
 // The sharding gateway: a front-end that makes a pool of meek_serve workers
 // look like one service.
 //
-// One logical batch of request lines is sharded round-robin across N worker
-// endpoints (request line i goes to worker i mod N), each worker evaluates
-// its sub-batch concurrently, and the returned row streams are merged back
-// preserving the global (request, repeat) order — byte-identical to what a
-// single-process serve::service would emit for the same batch. The only
-// rewrite on the way back is the "request" index, which is translated from
-// the worker's sub-batch numbering to the global one; every other byte of a
-// worker row passes through untouched.
+// One logical batch of request lines is sharded *cost-aware* across the live
+// worker endpoints: each line's estimated cost (sim::cost_hint of its
+// resolved spec, times its repeats) feeds sched::balanced_assignment, so one
+// worker does not end up owning all the long requests while the others idle
+// — the same placement rule the executor uses for its own deques. On a batch
+// of equal-cost lines the assignment degenerates to the old round-robin.
+// Each worker evaluates its sub-batch concurrently, and the returned row
+// streams are merged back preserving the global (request, repeat) order —
+// byte-identical to what a single-process serve::service would emit for the
+// same batch, because row content and order are functions of the request
+// index, never of which worker ran it. The only rewrite on the way back is
+// the "request" index, which is translated from the worker's sub-batch
+// numbering to the global one; every other byte of a worker row passes
+// through untouched.
 //
 // Workers are either child processes (`meek_serve --framed --quiet` over
 // stdin/stdout pipes) or remote framed socket endpoints (`meek_serve
@@ -16,11 +22,21 @@
 // gateway can detect end-of-batch without counting rows, and a worker that
 // dies mid-batch (EOF before the terminator) is detected deterministically:
 // every (request, repeat) slot the dead worker still owed becomes an error
-// row in its slot, and the rest of the batch is unaffected. A worker that
-// failed once is not sent further batches; its slots keep erroring.
+// row in its slot, and the rest of the batch is unaffected.
 //
-// The gateway never simulates and never parses outcome fields — it is pure
-// protocol: framing, sharding, index rewriting, order-preserving merge.
+// Worker lifecycle between batches: before sharding, every process worker is
+// probed (waitpid WNOHANG) so one that crashed after a clean batch is caught
+// up front, and every failed worker is revived — process workers respawned
+// from the original argv, endpoint workers reconnected. A worker that cannot
+// be revived is evicted from the assignment: its share is redistributed over
+// the live workers instead of turning into error rows, and further revival
+// attempts back off exponentially (in batches, capped) so one unreachable
+// host's blocking connect cannot stall every batch of the session. Only when
+// *no* worker is alive do slots come back as error rows.
+//
+// The gateway never simulates and never inspects outcome fields — protocol
+// framing, cost estimation, sharding, index rewriting, order-preserving
+// merge.
 #pragma once
 
 #include <iosfwd>
@@ -44,16 +60,17 @@ struct gateway_options {
 };
 
 struct gateway_stats {
-    u64 requests = 0;        // lines sharded
-    u64 rows = 0;            // rows merged (includes error rows)
-    u64 errors = 0;          // error rows among them (worker + protocol errors)
-    u64 worker_failures = 0; // workers that died or desynced mid-batch
+    u64 requests = 0;          // lines sharded
+    u64 rows = 0;              // rows merged (includes error rows)
+    u64 errors = 0;            // error rows among them (worker + protocol errors)
+    u64 worker_failures = 0;   // workers that died or desynced mid-batch
+    u64 workers_respawned = 0; // failed workers revived between batches
 };
 
 class gateway {
 public:
     // Spawns / connects the pool. A worker that cannot be brought up is
-    // recorded as failed (its requests become error rows) rather than
+    // recorded as failed (revival is retried before every batch) rather than
     // aborting the gateway; `ok()` is false only when *no* worker came up.
     explicit gateway(const gateway_options& opts);
     ~gateway();
@@ -76,6 +93,12 @@ public:
 
 private:
     struct worker;
+
+    // Between-batches lifecycle pass: probe process workers for silent exits,
+    // then respawn/reconnect every failed worker. Returns how many revived.
+    std::size_t revive_workers();
+
+    gateway_options opts_;
     std::vector<std::unique_ptr<worker>> workers_;
 };
 

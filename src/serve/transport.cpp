@@ -14,9 +14,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <condition_variable>
+#include <deque>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 #include "serve/service.h"
 
@@ -469,6 +474,24 @@ int child_process::wait() {
     return status_;
 }
 
+bool child_process::poll_exited() {
+    if (reaped_) return true;
+    int status = 0;
+    const int rc = ::waitpid(pid_, &status, WNOHANG);
+    if (rc == 0) return false;  // still running
+    reaped_ = true;
+    if (rc < 0) {
+        status_ = -1;
+    } else if (WIFEXITED(status)) {
+        status_ = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+        status_ = -WTERMSIG(status);
+    } else {
+        status_ = -1;
+    }
+    return true;
+}
+
 void child_process::kill() {
     if (pid_ >= 0 && !reaped_) ::kill(pid_, SIGKILL);
 }
@@ -477,24 +500,91 @@ void child_process::kill() {
 
 serve_connections_stats serve_connections(service& svc, listener& lis,
                                           const serve_connections_options& opts) {
-    serve_connections_stats total;
-    while (opts.max_connections == 0 || total.connections < opts.max_connections) {
-        std::unique_ptr<fd_stream> client = lis.accept();
-        if (!client) break;
-        const batch_stats s = svc.serve_stream(*client, *client, opts.framed);
-        // A connection that sent no request is a probe — a health check, or
-        // another listener::open deciding whether this path is live. Probes
-        // must not consume the --max-connections budget or a duplicate-
-        // daemon attempt would shut the live daemon down.
-        if (s.requests == 0) continue;
-        ++total.connections;
-        total.requests += s.requests;
-        total.rows += s.rows;
-        total.errors += s.errors;
-        total.jobs += s.jobs;
-        // fd_stream's destructor flushes and closes the connection.
+    // Shared accept-pool state. `reserved` is the number of --max-connections
+    // budget slots handed out (refunded for probes); `counted` the
+    // connections that actually carried requests.
+    struct accept_state {
+        std::mutex mutex;
+        std::condition_variable work;  // handlers: a connection is queued / shutdown
+        std::condition_variable slot;  // acceptor: a handler freed a slot
+        std::deque<std::unique_ptr<fd_stream>> queue;
+        bool done = false;
+        u64 reserved = 0;
+        u64 counted = 0;
+        std::size_t active = 0;  // connections a handler is currently serving
+        serve_connections_stats total;
+    } st;
+    const std::size_t pool = std::max<u32>(1, opts.accept_threads);
+    const u64 max = opts.max_connections;
+
+    std::vector<std::thread> handlers;
+    handlers.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) {
+        handlers.emplace_back([&svc, &st, &opts, max] {
+            for (;;) {
+                std::unique_ptr<fd_stream> client;
+                {
+                    std::unique_lock<std::mutex> lock(st.mutex);
+                    st.work.wait(lock, [&st] { return st.done || !st.queue.empty(); });
+                    if (st.queue.empty()) return;  // done and drained
+                    client = std::move(st.queue.front());
+                    st.queue.pop_front();
+                    ++st.active;
+                }
+                const batch_stats s = svc.serve_stream(*client, *client, opts.framed);
+                client.reset();  // flush + close before releasing the slot
+                {
+                    std::lock_guard<std::mutex> lock(st.mutex);
+                    --st.active;
+                    if (s.requests == 0) {
+                        // A probe: refund its budget slot so a health check
+                        // can never shut a live daemon down.
+                        if (max != 0) --st.reserved;
+                    } else {
+                        ++st.counted;
+                        st.total.connections = st.counted;
+                        st.total.requests += s.requests;
+                        st.total.rows += s.rows;
+                        st.total.errors += s.errors;
+                        st.total.jobs += s.jobs;
+                    }
+                }
+                st.slot.notify_all();
+            }
+        });
     }
-    return total;
+
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(st.mutex);
+            st.slot.wait(lock, [&st, pool, max] {
+                const bool slot_free = st.queue.size() + st.active < pool;
+                const bool budget_open = max == 0 || st.reserved < max;
+                const bool drained =
+                    max != 0 && st.reserved >= max && st.active == 0 && st.queue.empty();
+                return (slot_free && budget_open) || drained;
+            });
+            if (max != 0 && st.reserved >= max && st.active == 0 && st.queue.empty()) {
+                break;  // budget spent and every connection settled
+            }
+        }
+        std::unique_ptr<fd_stream> client = lis.accept();
+        if (!client) break;  // closed from another thread, or fatal accept error
+        {
+            std::lock_guard<std::mutex> lock(st.mutex);
+            if (max != 0) ++st.reserved;
+            st.queue.push_back(std::move(client));
+        }
+        st.work.notify_one();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(st.mutex);
+        st.done = true;
+    }
+    st.work.notify_all();
+    for (std::thread& t : handlers) t.join();
+    return st.total;
 }
 
 }  // namespace meek::serve

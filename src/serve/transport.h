@@ -153,6 +153,12 @@ public:
     // to call once; subsequent calls return the cached status.
     int wait();
 
+    // Non-blocking exit probe (waitpid WNOHANG): true once the child is gone,
+    // reaping it as a side effect. The gateway runs this between batches so a
+    // worker that crashed after a clean batch is respawned up front instead
+    // of being discovered by the next batch's failed write.
+    bool poll_exited();
+
     void kill();  // SIGKILL, for tests and shutdown paths
 
 private:
@@ -169,6 +175,10 @@ private:
 struct serve_connections_options {
     u64 max_connections = 0;  // 0 => until close()/accept failure
     bool framed = true;       // socket clients get framed batches
+    // Connections served simultaneously (floored at 1): a small fixed accept
+    // pool. The listener stops accepting while `accept_threads` connections
+    // are open, so the pool size is also the concurrent-client cap.
+    u32 accept_threads = 4;
 };
 
 struct serve_connections_stats {
@@ -179,9 +189,18 @@ struct serve_connections_stats {
     u64 jobs = 0;
 };
 
-// The network daemon loop: accept clients one at a time and run each through
-// svc.serve_stream until its EOF. Returns once `max_connections` clients were
-// served or the listener was closed (from another thread, for shutdown).
+// The network daemon loop: accept clients onto a fixed pool of handler
+// threads, each running svc.serve_stream until its client's EOF (the service
+// is shared — its executor, caches and stats are all thread-safe). Returns
+// once `max_connections` clients were served or the listener was closed
+// (from another thread, for shutdown).
+//
+// The `max_connections` budget is enforced per connection, not per process:
+// a budget slot is reserved when a connection is accepted and refunded if the
+// connection turns out to be a probe (zero requests — a health check, or
+// another listener::open deciding whether this path is live), so probes can
+// never shut a live daemon down. Once the budget is reserved the loop stops
+// accepting, waits for the in-flight connections to drain, and returns.
 serve_connections_stats serve_connections(service& svc, listener& lis,
                                           const serve_connections_options& opts = {});
 

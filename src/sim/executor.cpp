@@ -1,6 +1,7 @@
 #include "sim/executor.h"
 
 #include <cstdlib>
+#include <thread>
 
 namespace meek::sim {
 
@@ -23,22 +24,7 @@ u32 resolve_thread_count(u32 requested) {
     return hw > 0 ? hw : 1;
 }
 
-executor::executor(u32 num_threads) {
-    const u32 n = resolve_thread_count(num_threads);
-    workers_.reserve(n);
-    for (u32 i = 0; i < n; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
-    }
-}
-
-executor::~executor() {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stopping_ = true;
-    }
-    cv_.notify_all();
-    for (std::thread& t : workers_) t.join();
-}
+executor::executor(u32 num_threads) : pool_(resolve_thread_count(num_threads)) {}
 
 executor_timing executor::timing() const {
     std::lock_guard<std::mutex> lock(timing_mutex_);
@@ -63,28 +49,33 @@ void executor::note_job_ms(double ms) {
     total_job_ms_ += ms;
 }
 
-void executor::enqueue(std::function<void()> task) {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
-    }
-    cv_.notify_one();
-}
+executor::batch_plan executor::plan_batch(std::size_t count,
+                                          std::span<const double> cost_hints) const {
+    batch_plan plan;
+    plan.push_order.resize(count);
+    std::iota(plan.push_order.begin(), plan.push_order.end(), std::size_t{0});
 
-void executor::worker_loop() {
-    for (;;) {
-        std::function<void()> task;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) return;  // stopping_ and fully drained
-            task = std::move(queue_.front());
-            queue_.pop_front();
-        }
-        // packaged_task routes any exception into the job's future; nothing
-        // escapes into the worker loop.
-        task();
+    if (cost_hints.size() != count) {
+        // No (usable) hints: deal the batch round-robin; stealing alone
+        // levels whatever skew the bodies turn out to have.
+        plan.homes.resize(count);
+        for (std::size_t i = 0; i < count; ++i) plan.homes[i] = i % pool_.size();
+        return plan;
     }
+
+    plan.homes = sched::balanced_assignment(cost_hints, pool_.size());
+    // Push each worker's share cheapest-first: the owner pops LIFO, so it
+    // starts on its own longest job (no straggler finishing last), while a
+    // thief's FIFO steal takes the cheapest task the owner is furthest from —
+    // the least disruptive thing to migrate.
+    std::stable_sort(plan.push_order.begin(), plan.push_order.end(),
+                     [&plan, cost_hints](std::size_t a, std::size_t b) {
+                         if (plan.homes[a] != plan.homes[b]) {
+                             return plan.homes[a] < plan.homes[b];
+                         }
+                         return cost_hints[a] < cost_hints[b];
+                     });
+    return plan;
 }
 
 }  // namespace meek::sim

@@ -1,6 +1,6 @@
-// Parallel experiment executor: a std::thread pool that fans independent
-// simulation jobs out across workers while keeping campaign results
-// bit-identical at any thread count.
+// Parallel experiment executor: the thin façade that gives simulation code a
+// batch-of-jobs API over the shared work-stealing scheduler (sched::pool)
+// while keeping campaign results bit-identical at any thread count.
 //
 // Determinism contract:
 //   * every job in a batch gets a `job_context` whose `stream_seed` is a pure
@@ -10,27 +10,35 @@
 //   * jobs share no mutable state — each builds its own SoC, accumulates into
 //     its own result struct, and the merge happens after the join.
 //
+// Scheduling (wall-clock only, never results): a batch with cost hints is
+// placed across the workers' deques with sched::balanced_assignment — each
+// worker's share pushed cheapest-first so its LIFO pop order runs its own
+// longest job first — and workers that drain early steal FIFO from the
+// others, which is what corrects a hint that lied. `scheduler_stats()`
+// exposes the per-worker executed/stolen/busy counters next to the per-job
+// timing summary.
+//
 // A job that throws does not poison the pool: the exception is captured in
 // the job's future and rethrown to the caller at join time; workers keep
-// draining the queue.
+// draining the queues.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <numeric>
 #include <span>
-#include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "sched/placement.h"
+#include "sched/pool.h"
 
 namespace meek::sim {
 
@@ -65,26 +73,33 @@ class executor {
 public:
     // `num_threads == 0` resolves via MEEK_THREADS / hardware_concurrency.
     explicit executor(u32 num_threads = 0);
-    ~executor();
 
     executor(const executor&) = delete;
     executor& operator=(const executor&) = delete;
 
-    u32 num_threads() const { return static_cast<u32>(workers_.size()); }
+    u32 num_threads() const { return pool_.size(); }
 
     // Per-job wall-time summary over every indexed job completed since
     // construction (or the last reset). Thread-safe.
     executor_timing timing() const;
     void reset_timing();
 
+    // The scheduler's own per-worker counters: tasks executed, tasks stolen,
+    // steal probes, busy wall time. Steals > 0 on a skewed batch is the
+    // work-stealing layer doing its job.
+    sched::pool_stats scheduler_stats() const { return pool_.stats(); }
+    void reset_scheduler_stats() { pool_.reset_stats(); }
+
     // Submit one job; the future holds the result or the job's exception.
+    // Placement is round-robin — single submissions carry no cost hint.
     template <class Fn>
     auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>&>> {
         using result_t = std::invoke_result_t<std::decay_t<Fn>&>;
         auto task = std::make_shared<std::packaged_task<result_t()>>(
             std::forward<Fn>(fn));
         std::future<result_t> fut = task->get_future();
-        enqueue([task] { (*task)(); });
+        pool_.post(next_home_.fetch_add(1, std::memory_order_relaxed),
+                   [task] { (*task)(); });
         return fut;
     }
 
@@ -94,39 +109,34 @@ public:
     // caller locals can never outlive the call; the lowest-index exception is
     // rethrown after the drain.
     //
-    // `cost_hints` (optional; size must equal `count` when nonempty) sorts
-    // submission order longest-hint-first so a batch of unequal jobs does not
-    // end on one straggler the other workers idle behind. Hints reorder
-    // *scheduling only*: stream seeds and result order are functions of the
-    // job index, so hinted and unhinted batches are bit-identical.
+    // `cost_hints` (optional; size must equal `count` when nonempty) drives
+    // cost-balanced placement across the worker deques; without hints the
+    // batch is dealt round-robin. Placement and stealing reorder *scheduling
+    // only*: stream seeds and result order are functions of the job index, so
+    // hinted and unhinted batches are bit-identical.
     template <class Fn>
     auto run_indexed(std::size_t count, u64 base_seed, Fn fn,
                      std::span<const double> cost_hints = {})
         -> std::vector<std::invoke_result_t<Fn&, const job_context&>> {
         using result_t = std::invoke_result_t<Fn&, const job_context&>;
-        std::vector<std::size_t> order(count);
-        std::iota(order.begin(), order.end(), std::size_t{0});
-        if (cost_hints.size() == count) {
-            // Stable: equal-cost jobs keep submission-index order.
-            std::stable_sort(order.begin(), order.end(),
-                             [cost_hints](std::size_t a, std::size_t b) {
-                                 return cost_hints[a] > cost_hints[b];
-                             });
-        }
         std::vector<std::future<result_t>> futures(count);
-        for (const std::size_t i : order) {
+        const batch_plan plan = plan_batch(count, cost_hints);
+        for (const std::size_t i : plan.push_order) {
             const job_context ctx{i, derive_stream_seed(base_seed, i)};
             // Each job's body is wall-clock timed into the pool's summary —
             // purely diagnostic, never fed back into results, so determinism
             // holds.
-            futures[i] = submit([this, fn, ctx] {
-                const auto start = std::chrono::steady_clock::now();
-                result_t result = fn(ctx);
-                note_job_ms(std::chrono::duration<double, std::milli>(
-                                std::chrono::steady_clock::now() - start)
-                                .count());
-                return result;
-            });
+            auto task = std::make_shared<std::packaged_task<result_t()>>(
+                [this, fn, ctx] {
+                    const auto start = std::chrono::steady_clock::now();
+                    result_t result = fn(ctx);
+                    note_job_ms(std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count());
+                    return result;
+                });
+            futures[i] = task->get_future();
+            pool_.post(plan.homes[i], [task] { (*task)(); });
         }
         std::vector<result_t> results;
         results.reserve(count);
@@ -153,7 +163,7 @@ public:
     }
 
     // map with a per-item cost hint (hint_of: const Item& -> double); the
-    // batch is submitted longest-first, results stay in item order.
+    // batch is cost-balanced across the workers, results stay in item order.
     template <class Item, class Fn, class HintOf>
     auto map(const std::vector<Item>& items, u64 base_seed, Fn fn, HintOf hint_of)
         -> std::vector<std::invoke_result_t<Fn&, const Item&, const job_context&>> {
@@ -167,19 +177,25 @@ public:
     }
 
 private:
-    void enqueue(std::function<void()> task);
-    void worker_loop();
+    // Where each job of a batch goes and in what order it is pushed.
+    struct batch_plan {
+        std::vector<std::size_t> homes;       // job index -> worker deque
+        std::vector<std::size_t> push_order;  // post() order over job indices
+    };
+    batch_plan plan_batch(std::size_t count, std::span<const double> cost_hints) const;
+
     void note_job_ms(double ms);
 
-    std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
+    std::atomic<u64> next_home_{0};
 
     mutable std::mutex timing_mutex_;
     running_stat job_ms_;
     double total_job_ms_ = 0.0;
+
+    // Declared last on purpose: the pool's destructor drains still-queued
+    // jobs, whose bodies call note_job_ms — the timing members above must
+    // outlive it (members destruct in reverse declaration order).
+    sched::pool pool_;
 };
 
 }  // namespace meek::sim

@@ -487,9 +487,11 @@ TEST(gateway, out_of_order_worker_completion_merges_in_request_order) {
     EXPECT_EQ(join_rows(gw.evaluate(lines)), single_process_rows(lines));
 }
 
-TEST(gateway, unreachable_endpoint_fails_its_slots_only) {
+TEST(gateway, unreachable_endpoint_is_evicted_and_its_load_redistributed) {
     // Endpoint 1 refuses connections (nothing listening); endpoint 0 is a
-    // healthy scripted worker. The gateway must come up degraded, not die.
+    // healthy scripted worker. The gateway must come up degraded, and the
+    // dead endpoint's share must be rerouted to the live worker — no error
+    // rows for requests a healthy pool member could serve.
     serve::endpoint_address dead;
     dead.kind = serve::endpoint_kind::unix_socket;
     dead.path = socket_path("refused_nobody");
@@ -514,10 +516,209 @@ TEST(gateway, unreachable_endpoint_fails_its_slots_only) {
     serve::gateway_stats stats;
     const std::vector<std::string> rows = gw.evaluate(lines, &stats);
     worker.join();
-    ASSERT_EQ(rows.size(), 2u);
-    EXPECT_TRUE(serve::parse_response(rows[0])->error.empty());
-    EXPECT_NE(serve::parse_response(rows[1])->error.find("worker 1"), std::string::npos);
-    EXPECT_EQ(stats.errors, 1u);
+    EXPECT_EQ(join_rows(rows), single_process_rows(lines))
+        << "the live worker must absorb the evicted endpoint's share";
+    EXPECT_EQ(stats.errors, 0u);
+    EXPECT_EQ(stats.worker_failures, 0u);
+}
+
+TEST(gateway, skewed_batch_routes_the_expensive_request_away_from_the_rest) {
+    // Cost-aware sharding: one request dominates the batch's estimated cost
+    // (MEEK, 4 checkers, 3 repeats), the other three are cheap vanilla runs.
+    // Balanced assignment must give worker 0 only the expensive line and
+    // worker 1 everything else — observable because worker 0 is scripted to
+    // die without a row: exactly the expensive request's repeats come back as
+    // error rows. (Round-robin would also have killed request 2.)
+    scripted_pool pool("skew", /*w0*/ 0, 0, false, /*w1*/ -1, 0, true);
+    serve::gateway gw(pool.opts);
+    ASSERT_TRUE(gw.ok());
+
+    const std::vector<std::string> lines = {
+        R"({"id":"big","scenario":"meek/f2/opt/4","workload":"hmmer","instructions":30000,"seed":3,"repeats":3})",
+        R"({"id":"s1","scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":3})",
+        R"({"id":"s2","scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":4})",
+        R"({"id":"s3","scenario":"vanilla","workload":"blackscholes","instructions":6000,"seed":3})",
+    };
+    serve::gateway_stats stats;
+    const std::vector<std::string> rows = gw.evaluate(lines, &stats);
+    ASSERT_EQ(rows.size(), 6u) << "3 repeats of request 0 + one row each for 1..3";
+
+    for (u64 repeat = 0; repeat < 3; ++repeat) {
+        const auto row = serve::parse_response(rows[repeat]);
+        ASSERT_TRUE(row.has_value()) << rows[repeat];
+        EXPECT_EQ(row->request_index, 0u);
+        EXPECT_EQ(row->repeat, repeat);
+        EXPECT_NE(row->error.find("worker 0 failed mid-batch"), std::string::npos)
+            << rows[repeat];
+        EXPECT_EQ(row->id, "big");
+    }
+    for (std::size_t i = 3; i < rows.size(); ++i) {
+        const auto row = serve::parse_response(rows[i]);
+        ASSERT_TRUE(row.has_value()) << rows[i];
+        EXPECT_EQ(row->request_index, i - 2);
+        EXPECT_TRUE(row->error.empty())
+            << "cheap requests belong to the healthy worker: " << rows[i];
+    }
+    EXPECT_EQ(stats.errors, 3u);
+    EXPECT_EQ(stats.worker_failures, 1u);
+}
+
+TEST(gateway, process_worker_death_is_respawned_for_the_next_batch) {
+    // A one-worker pool whose worker dies mid-batch on its first life (the
+    // script reads one line, then exits) and execs a real meek_serve on its
+    // second (the flag file exists by then). Batch 1 must come back as error
+    // rows; batch 2 must be served for real by the respawned worker.
+    const std::string flag = ::testing::TempDir() + "meek_respawn_flag_" +
+                             std::to_string(::getpid());
+    ::unlink(flag.c_str());
+    const std::string script = "if [ -e '" + flag + "' ]; then exec '" +
+                               MEEK_SERVE_BIN +
+                               "' --framed --quiet; else : > '" + flag +
+                               "'; read ignored; exit 7; fi";
+    serve::gateway_options opts;
+    opts.workers = 1;
+    opts.worker_argv = {"/bin/sh", "-c", script};
+    serve::gateway gw(opts);
+    ASSERT_TRUE(gw.ok());
+
+    const std::vector<std::string> batch1 = {
+        R"({"id":"x","scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":3})",
+        R"({"id":"y","scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":4})",
+    };
+    serve::gateway_stats stats;
+    const std::vector<std::string> rows1 = gw.evaluate(batch1, &stats);
+    ASSERT_EQ(rows1.size(), 2u);
+    for (const std::string& row : rows1) {
+        const auto parsed = serve::parse_response(row);
+        ASSERT_TRUE(parsed.has_value()) << row;
+        EXPECT_NE(parsed->error.find("worker 0 failed mid-batch"), std::string::npos)
+            << row;
+    }
+    EXPECT_EQ(stats.worker_failures, 1u);
+    EXPECT_EQ(gw.alive_workers(), 0u) << "death must be visible after the batch";
+
+    const std::vector<std::string> batch2 = {
+        R"({"id":"z","scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":5})",
+    };
+    const std::vector<std::string> rows2 = gw.evaluate(batch2, &stats);
+    EXPECT_EQ(join_rows(rows2), single_process_rows(batch2))
+        << "respawned worker must serve batch 2 for real";
+    EXPECT_EQ(gw.alive_workers(), 1u);
+    EXPECT_EQ(stats.workers_respawned, 1u);
+    ::unlink(flag.c_str());
+}
+
+TEST(gateway, dead_endpoint_worker_reconnects_once_a_daemon_is_back) {
+    // Socket workers cannot be respawned, only re-connected. Life cycle:
+    // batch 1 served by scripted daemon A, which then closes the connection;
+    // batch 2 hits the closed socket and fails into error rows; daemon B
+    // starts; batch 3 reconnects and is served for real.
+    serve::endpoint_address addr;
+    addr.kind = serve::endpoint_kind::unix_socket;
+    addr.path = socket_path("reconnect");
+    auto lis = serve::listener::open(addr);
+    ASSERT_NE(lis, nullptr);
+    std::thread daemon_a(run_scripted_worker, lis.get(), -1, 0, true);
+
+    serve::gateway_options opts;
+    opts.endpoints = {lis->address()};
+    serve::gateway gw(opts);
+    ASSERT_TRUE(gw.ok());
+
+    const std::vector<std::string> batch = {
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":3})",
+    };
+    serve::gateway_stats stats;
+    EXPECT_EQ(join_rows(gw.evaluate(batch, &stats)), single_process_rows(batch));
+    daemon_a.join();  // daemon A is gone; the gateway's socket is now dead
+
+    const std::vector<std::string> rows2 = gw.evaluate(batch, &stats);
+    ASSERT_EQ(rows2.size(), 1u);
+    EXPECT_NE(serve::parse_response(rows2[0])->error.find("failed mid-batch"),
+              std::string::npos)
+        << rows2[0];
+    EXPECT_EQ(gw.alive_workers(), 0u);
+
+    std::thread daemon_b(run_scripted_worker, lis.get(), -1, 0, true);
+    const std::vector<std::string> rows3 = gw.evaluate(batch, &stats);
+    daemon_b.join();
+    EXPECT_EQ(join_rows(rows3), single_process_rows(batch))
+        << "reconnected endpoint must serve batch 3 for real";
+    EXPECT_EQ(gw.alive_workers(), 1u);
+    EXPECT_EQ(stats.workers_respawned, 1u);
+}
+
+// ------------------------------------------------------ concurrent accepts ---
+
+// Two clients at once: the first connects and holds its batch open while the
+// second connects, is served, and completes. A serial accept loop deadlocks
+// here (the second client is never accepted until the first hangs up); the
+// accept pool must interleave them.
+void expect_two_concurrent_clients(const serve::endpoint_address& addr) {
+    auto lis = serve::listener::open(addr);
+    ASSERT_NE(lis, nullptr);
+    serve::service svc({.threads = 2});
+    serve::serve_connections_stats stats;
+    std::thread server([&] {
+        stats = serve::serve_connections(
+            svc, *lis,
+            {.max_connections = 2, .framed = true, .accept_threads = 2});
+    });
+
+    const std::vector<std::string> lines_a = {
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":3})",
+    };
+    const std::vector<std::string> lines_b = {
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":4})",
+    };
+
+    auto slow = serve::connect_endpoint(lis->address());
+    ASSERT_NE(slow, nullptr);
+    auto fast = serve::connect_endpoint(lis->address());
+    ASSERT_NE(fast, nullptr);
+
+    const auto read_framed_batch = [](serve::fd_stream& io) {
+        std::string got;
+        std::string row;
+        while (std::getline(io, row)) {
+            if (serve::is_blank_line(row)) break;
+            got += std::string(serve::strip_cr(row));
+            got += '\n';
+        }
+        return got;
+    };
+
+    // The late connection completes while the early one is still idle.
+    for (const std::string& line : lines_b) *fast << line << '\n';
+    *fast << '\n';
+    fast->flush();
+    EXPECT_EQ(read_framed_batch(*fast), single_process_rows(lines_b));
+    fast->close_write();
+    fast.reset();
+
+    for (const std::string& line : lines_a) *slow << line << '\n';
+    *slow << '\n';
+    slow->flush();
+    EXPECT_EQ(read_framed_batch(*slow), single_process_rows(lines_a));
+    slow->close_write();
+    slow.reset();
+
+    server.join();
+    EXPECT_EQ(stats.connections, 2u);
+    EXPECT_EQ(stats.requests, 2u);
+}
+
+TEST(transport_accept_pool, unix_daemon_serves_two_clients_concurrently) {
+    serve::endpoint_address addr;
+    addr.kind = serve::endpoint_kind::unix_socket;
+    addr.path = socket_path("pool_unix");
+    expect_two_concurrent_clients(addr);
+}
+
+TEST(transport_accept_pool, tcp_daemon_serves_two_clients_concurrently) {
+    const auto addr = serve::parse_endpoint("tcp:127.0.0.1:0");
+    ASSERT_TRUE(addr.has_value());
+    expect_two_concurrent_clients(*addr);
 }
 
 }  // namespace

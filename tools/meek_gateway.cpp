@@ -1,11 +1,14 @@
 // meek_gateway — the sharding front-end for a pool of meek_serve workers.
 //
 // Accepts the same blank-line-framed NDJSON batches as meek_serve on stdin
-// (or --requests FILE), shards each batch's request lines round-robin across
-// the worker pool, and merges the returned rows preserving global (request,
-// repeat) order — stdout is byte-identical to a single-process meek_serve
-// run of the same input. A worker that dies mid-batch turns into error rows
-// in its slots; the batch never aborts.
+// (or --requests FILE), shards each batch's request lines cost-aware across
+// the worker pool (sched::balanced_assignment over sim::cost_hint estimates,
+// so the long requests spread instead of piling on one worker), and merges
+// the returned rows preserving global (request, repeat) order — stdout is
+// byte-identical to a single-process meek_serve run of the same input. A
+// worker that dies mid-batch turns into error rows in its slots; the batch
+// never aborts, and the dead worker is respawned (processes) or reconnected
+// (endpoints) before the next batch.
 //
 // Worker pool:
 //   meek_gateway --workers 3                 spawn 3 meek_serve child
@@ -135,12 +138,13 @@ int main(int argc, char** argv) {
     if (!quiet) {
         std::fprintf(stderr,
                      "# gateway: workers=%zu alive=%zu requests=%llu rows=%llu "
-                     "errors=%llu worker_failures=%llu\n",
+                     "errors=%llu worker_failures=%llu respawned=%llu\n",
                      gw.worker_count(), gw.alive_workers(),
                      static_cast<unsigned long long>(stats.requests),
                      static_cast<unsigned long long>(stats.rows),
                      static_cast<unsigned long long>(stats.errors),
-                     static_cast<unsigned long long>(stats.worker_failures));
+                     static_cast<unsigned long long>(stats.worker_failures),
+                     static_cast<unsigned long long>(stats.workers_respawned));
     }
     return 0;
 }

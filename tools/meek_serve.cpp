@@ -19,7 +19,10 @@
 //   --framed               stdio modes: terminate each batch's rows with a
 //                          blank line (what the gateway expects of a worker)
 //   --max-connections N    --listen: exit after serving N clients (0 = run
-//                          until killed)
+//                          until killed); probes that send no request do not
+//                          consume the budget
+//   --accept-threads N     --listen: serve up to N client connections
+//                          concurrently (default 4)
 //   --quiet                suppress the stderr session summary
 //
 // stdout carries only response rows — byte-identical for a given input at
@@ -43,7 +46,7 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--requests FILE | --listen ADDR] [--threads N] "
                  "[--cache-capacity N] [--outcome-capacity N] [--framed] "
-                 "[--max-connections N] [--quiet]\n",
+                 "[--max-connections N] [--accept-threads N] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
     std::string listen_spec;
     serve::service_options opts;
     u64 max_connections = 0;
+    u32 accept_threads = 4;
     bool framed = false;
     bool quiet = false;
 
@@ -73,6 +77,10 @@ int main(int argc, char** argv) {
             listen_spec = next_value("--listen");
         } else if (arg == "--max-connections") {
             max_connections = std::strtoull(next_value("--max-connections"), nullptr, 10);
+        } else if (arg == "--accept-threads") {
+            const unsigned long v =
+                std::strtoul(next_value("--accept-threads"), nullptr, 10);
+            accept_threads = v > 0 ? static_cast<u32>(v) : 1;
         } else if (arg == "--framed") {
             framed = true;
         } else if (arg == "--threads") {
@@ -118,8 +126,9 @@ int main(int argc, char** argv) {
         // The resolved address (ephemeral tcp ports in particular) goes to
         // stderr so a driver can discover where to connect.
         std::fprintf(stderr, "# listening on %s\n", lis->address().describe().c_str());
-        const serve::serve_connections_stats cs =
-            serve::serve_connections(svc, *lis, {.max_connections = max_connections});
+        const serve::serve_connections_stats cs = serve::serve_connections(
+            svc, *lis,
+            {.max_connections = max_connections, .accept_threads = accept_threads});
         stats.requests = cs.requests;
         stats.rows = cs.rows;
         stats.errors = cs.errors;
@@ -144,11 +153,14 @@ int main(int argc, char** argv) {
         const serve::workload_cache_stats cs = svc.cache().stats();
         const serve::outcome_cache_stats os = svc.outcomes().stats();
         const sim::executor_timing t = svc.pool().timing();
+        const sched::pool_stats ps = svc.pool().scheduler_stats();
         std::fprintf(stderr,
                      "# requests=%llu rows=%llu errors=%llu jobs=%llu threads=%u\n"
                      "# cache: hits=%llu misses=%llu evictions=%llu hit_rate=%.1f%%\n"
                      "# outcomes: hits=%llu misses=%llu evictions=%llu hit_rate=%.1f%%\n"
-                     "# job wall-time ms: min=%.2f mean=%.2f max=%.2f total=%.2f\n",
+                     "# job wall-time ms: min=%.2f mean=%.2f max=%.2f total=%.2f\n"
+                     "# sched: executed=%llu steals=%llu steal_attempts=%llu "
+                     "busy_ms=%.2f\n",
                      static_cast<unsigned long long>(stats.requests),
                      static_cast<unsigned long long>(stats.rows),
                      static_cast<unsigned long long>(stats.errors),
@@ -162,7 +174,10 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(os.misses),
                      static_cast<unsigned long long>(os.evictions),
                      100.0 * os.hit_rate(), t.min_ms, t.mean_ms, t.max_ms,
-                     t.total_ms);
+                     t.total_ms, static_cast<unsigned long long>(ps.executed()),
+                     static_cast<unsigned long long>(ps.steals()),
+                     static_cast<unsigned long long>(ps.steal_attempts()),
+                     ps.busy_ms());
     }
     return 0;
 }
