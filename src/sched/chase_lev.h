@@ -1,0 +1,170 @@
+// Chase-Lev work-stealing deque: the lock-free owner path of the scheduler.
+//
+// One owner thread pushes and pops at the bottom; any number of thieves CAS
+// the top. The orderings follow Lê/Pop/Cohen/Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP'13), with the
+// standalone seq_cst fences folded into the `bottom`/`top` accesses so the
+// synchronization is visible to ThreadSanitizer:
+//
+//   * push  — write the slot (relaxed, but the slot itself is atomic), then
+//     publish with a release store of `bottom`; a thief that observes the new
+//     bottom (acquire/seq_cst load) therefore observes the slot write.
+//   * pop   — reserve the bottom element with a seq_cst store of the
+//     decremented `bottom`, then a seq_cst load of `top`: either this pop
+//     sees a racing steal's CAS, or that steal sees the reservation. The
+//     final element is arbitrated by the same CAS on `top` the thieves use.
+//   * steal — seq_cst loads of `top` then `bottom`, read the slot, then CAS
+//     `top`; a lost CAS means another thief (or the owner's last-element pop)
+//     won, and the stale slot value read before the CAS is discarded. Slots
+//     are std::atomic<T*> precisely so that stale read is a valid atomic
+//     load, not a data race.
+//
+// The buffer is a growable circular array of atomic slots. Only the owner
+// grows it (inside push); retired arrays are kept on a chain until the deque
+// is destroyed, because a slow thief may still be reading the old array —
+// its CAS on `top` will fail and the stale value is dropped, but the memory
+// must stay valid. This trades a bounded amount of memory (arrays total at
+// most 2x the peak) for not needing hazard pointers or epochs.
+//
+// Element type is a raw pointer: ownership transfers on a successful pop or
+// steal; whatever the deque still holds at destruction is deleted by the
+// destructor (which runs when no other thread can touch the deque).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "common/types.h"
+
+namespace meek::sched {
+
+template <class T>
+class chase_lev_deque {
+public:
+    explicit chase_lev_deque(std::size_t initial_capacity = 64)
+        : array_(new ring_array(round_up_pow2(initial_capacity), nullptr)) {}
+
+    chase_lev_deque(const chase_lev_deque&) = delete;
+    chase_lev_deque& operator=(const chase_lev_deque&) = delete;
+
+    ~chase_lev_deque() {
+        // By the time a deque dies no owner or thief can still be running,
+        // so a plain owner-side drain reclaims whatever was never taken.
+        for (T* leftover = pop_bottom(); leftover; leftover = pop_bottom()) {
+            delete leftover;
+        }
+        ring_array* a = array_.load(std::memory_order_relaxed);
+        while (a != nullptr) {
+            ring_array* prev = a->retired_prev;
+            delete a;
+            a = prev;
+        }
+    }
+
+    // Owner only. Never fails: a full buffer grows (the old array is retired,
+    // not freed, so concurrent thieves keep reading valid memory).
+    void push_bottom(T* item) {
+        const i64 b = bottom_.load(std::memory_order_relaxed);
+        const i64 t = top_.load(std::memory_order_acquire);
+        ring_array* a = array_.load(std::memory_order_relaxed);
+        if (b - t >= static_cast<i64>(a->capacity)) {
+            a = grow(a, t, b);
+        }
+        a->slot(b).store(item, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_release);
+    }
+
+    // Owner only. LIFO; nullptr when empty. The last element is arbitrated
+    // against concurrent thieves via CAS on `top`.
+    T* pop_bottom() {
+        const i64 b = bottom_.load(std::memory_order_relaxed) - 1;
+        ring_array* a = array_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_seq_cst);
+        i64 t = top_.load(std::memory_order_seq_cst);
+        if (t <= b) {
+            T* item = a->slot(b).load(std::memory_order_relaxed);
+            if (t == b) {
+                // Last element: win the race against thieves or concede.
+                if (!top_.compare_exchange_strong(t, t + 1,
+                                                  std::memory_order_seq_cst,
+                                                  std::memory_order_relaxed)) {
+                    item = nullptr;
+                }
+                bottom_.store(b + 1, std::memory_order_relaxed);
+            }
+            return item;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return nullptr;
+    }
+
+    // Any thread. FIFO; nullptr when the deque looked empty *or* the CAS was
+    // lost to a racing pop/steal — callers treat both as "try elsewhere",
+    // which is sound because the pool's queued-task counter keeps an idle
+    // worker from sleeping while anything is still pending.
+    T* steal_top() {
+        i64 t = top_.load(std::memory_order_seq_cst);
+        const i64 b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b) return nullptr;
+        ring_array* a = array_.load(std::memory_order_acquire);
+        T* item = a->slot(t).load(std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return nullptr;
+        }
+        return item;
+    }
+
+    // Approximate (racy) size — diagnostics only.
+    std::size_t size_estimate() const {
+        const i64 b = bottom_.load(std::memory_order_relaxed);
+        const i64 t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+    std::size_t capacity() const {
+        return array_.load(std::memory_order_relaxed)->capacity;
+    }
+
+private:
+    struct ring_array {
+        ring_array(std::size_t cap, ring_array* prev)
+            : capacity(cap), mask(cap - 1), slots(new std::atomic<T*>[cap]),
+              retired_prev(prev) {}
+        std::atomic<T*>& slot(i64 i) {
+            return slots[static_cast<std::size_t>(i) & mask];
+        }
+        const std::size_t capacity;
+        const std::size_t mask;
+        std::unique_ptr<std::atomic<T*>[]> slots;
+        ring_array* retired_prev;  // chain of outgrown arrays, freed at ~deque
+    };
+
+    static std::size_t round_up_pow2(std::size_t n) {
+        std::size_t p = 1;
+        while (p < n) p <<= 1;
+        return p < 8 ? 8 : p;
+    }
+
+    // Owner only (called from push_bottom). Copies the live window [top,
+    // bottom) into a doubled array and publishes it; the old array stays on
+    // the retired chain for thieves still holding its pointer.
+    ring_array* grow(ring_array* old, i64 t, i64 b) {
+        ring_array* bigger = new ring_array(old->capacity * 2, old);
+        for (i64 i = t; i < b; ++i) {
+            bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+        }
+        array_.store(bigger, std::memory_order_release);
+        return bigger;
+    }
+
+    // top_ only ever increases; bottom_ is owner-written. Separate cache
+    // lines so thief CAS traffic does not invalidate the owner's hot index.
+    alignas(64) std::atomic<i64> top_{0};
+    alignas(64) std::atomic<i64> bottom_{0};
+    alignas(64) std::atomic<ring_array*> array_;
+};
+
+}  // namespace meek::sched

@@ -1,0 +1,123 @@
+// Bounded lock-free MPMC ring (Vyukov's array queue): the inject path for
+// external posts into the scheduler — gateway accept threads, service
+// handlers, and any other non-worker producer that cannot touch a Chase-Lev
+// deque's owner end.
+//
+// Each cell carries a sequence number that encodes whose turn the slot is:
+//   seq == pos          -> free, the producer that claims `pos` may fill it
+//   seq == pos + 1      -> full, the consumer that claims `pos` may empty it
+//   anything behind pos -> the ring has wrapped: full (producer) / empty
+//                          (consumer), so fail fast instead of spinning.
+// Producers CAS the enqueue cursor, write the value, then release-store
+// seq = pos + 1; consumers acquire-load seq, CAS the dequeue cursor, read the
+// value, then release-store seq = pos + capacity so the slot is free again on
+// the next lap. The value field itself is plain data — the seq release/
+// acquire pair is the handoff, so there is no data race on it.
+//
+// try_push/try_pop never block and never spin unboundedly: a full ring fails
+// the push (the pool's backpressure path catches it), an empty ring fails the
+// pop. Capacity is rounded up to a power of two.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/types.h"
+
+namespace meek::sched {
+
+template <class T>
+class mpmc_ring {
+public:
+    explicit mpmc_ring(std::size_t capacity)
+        : mask_(round_up_pow2(capacity) - 1),
+          cells_(new cell[mask_ + 1]) {
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+        }
+    }
+
+    mpmc_ring(const mpmc_ring&) = delete;
+    mpmc_ring& operator=(const mpmc_ring&) = delete;
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    // False when the ring is full (the caller owns the fallback).
+    bool try_push(T value) {
+        cell* c;
+        std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+        for (;;) {
+            c = &cells_[pos & mask_];
+            const std::size_t seq = c->seq.load(std::memory_order_acquire);
+            const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                             static_cast<std::ptrdiff_t>(pos);
+            if (dif == 0) {
+                if (enqueue_pos_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    break;
+                }
+            } else if (dif < 0) {
+                return false;  // a full lap behind: ring is full
+            } else {
+                pos = enqueue_pos_.load(std::memory_order_relaxed);
+            }
+        }
+        c->value = std::move(value);
+        c->seq.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    // False when the ring is empty.
+    bool try_pop(T* out) {
+        cell* c;
+        std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+        for (;;) {
+            c = &cells_[pos & mask_];
+            const std::size_t seq = c->seq.load(std::memory_order_acquire);
+            const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                             static_cast<std::ptrdiff_t>(pos + 1);
+            if (dif == 0) {
+                if (dequeue_pos_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    break;
+                }
+            } else if (dif < 0) {
+                return false;  // nothing published at this position yet
+            } else {
+                pos = dequeue_pos_.load(std::memory_order_relaxed);
+            }
+        }
+        *out = std::move(c->value);
+        c->seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+    }
+
+    // Approximate (racy) occupancy — diagnostics only.
+    std::size_t size_estimate() const {
+        const std::size_t e = enqueue_pos_.load(std::memory_order_relaxed);
+        const std::size_t d = dequeue_pos_.load(std::memory_order_relaxed);
+        return e > d ? e - d : 0;
+    }
+
+private:
+    struct cell {
+        std::atomic<std::size_t> seq;
+        T value;
+    };
+
+    static std::size_t round_up_pow2(std::size_t n) {
+        std::size_t p = 1;
+        while (p < n) p <<= 1;
+        return p < 4 ? 4 : p;
+    }
+
+    const std::size_t mask_;
+    std::unique_ptr<cell[]> cells_;
+    // Producers and consumers hammer different cursors; keep them apart.
+    alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+    alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace meek::sched

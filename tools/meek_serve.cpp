@@ -160,7 +160,8 @@ int main(int argc, char** argv) {
                      "# outcomes: hits=%llu misses=%llu evictions=%llu hit_rate=%.1f%%\n"
                      "# job wall-time ms: min=%.2f mean=%.2f max=%.2f total=%.2f\n"
                      "# sched: executed=%llu steals=%llu steal_attempts=%llu "
-                     "busy_ms=%.2f\n",
+                     "steal_success=%.1f%% ring_posts=%llu ring_full=%llu "
+                     "busy_ms=%.2f backend=%s\n",
                      static_cast<unsigned long long>(stats.requests),
                      static_cast<unsigned long long>(stats.rows),
                      static_cast<unsigned long long>(stats.errors),
@@ -177,7 +178,11 @@ int main(int argc, char** argv) {
                      t.total_ms, static_cast<unsigned long long>(ps.executed()),
                      static_cast<unsigned long long>(ps.steals()),
                      static_cast<unsigned long long>(ps.steal_attempts()),
-                     ps.busy_ms());
+                     100.0 * ps.steal_success_rate(),
+                     static_cast<unsigned long long>(ps.posts_via_ring()),
+                     static_cast<unsigned long long>(ps.ring_full_posts()),
+                     ps.busy_ms(),
+                     sched::backend_name(svc.pool().scheduler_backend()));
     }
     return 0;
 }

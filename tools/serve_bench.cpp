@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "serve/service.h"
 
 using namespace meek;
@@ -132,5 +133,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cs.evictions));
     std::printf("  job wall-time ms: min %.2f mean %.2f max %.2f total %.2f\n",
                 t.min_ms, t.mean_ms, t.max_ms, t.total_ms);
+    // The same '# sched:' stderr line fig6/fig7 emit, so serve-path steal
+    // and inject-ring behaviour is visible in CI logs batch by batch.
+    bench::print_scheduler_summary(svc.pool());
     return errors == 0 ? 0 : 1;
 }
