@@ -65,21 +65,27 @@ inline void check_shape(const char* what, bool holds) {
 // placement problem (max >> mean, zero steals) from a genuinely serial tail.
 // steal_success (hits per probe) and ring_posts (tasks that entered via the
 // lock-free inject rings; 0 under MEEK_SCHED=mutex) say whether theft was
-// cheap and which post path fed the batch.
+// cheap and which post path fed the batch. p50/p99 come from the executor's
+// run-time histogram — the same samples min/mean/max summarize, but the
+// percentile pair distinguishes a uniformly-slow batch from a long tail.
 inline void print_scheduler_summary(const sim::executor& ex) {
     const sim::executor_timing t = ex.timing();
     const sched::pool_stats s = ex.scheduler_stats();
+    const obs::log_histogram h = ex.run_time_histogram();
     std::fprintf(stderr,
                  "# sched: threads=%u backend=%s jobs=%zu steals=%llu "
                  "steal_attempts=%llu steal_success=%.1f%% ring_posts=%llu "
-                 "ring_full=%llu job_ms min=%.2f mean=%.2f max=%.2f total=%.2f\n",
+                 "ring_full=%llu job_ms min=%.2f mean=%.2f max=%.2f total=%.2f "
+                 "p50=%.2f p99=%.2f\n",
                  ex.num_threads(), sched::backend_name(ex.scheduler_backend()),
                  t.jobs, static_cast<unsigned long long>(s.steals()),
                  static_cast<unsigned long long>(s.steal_attempts()),
                  100.0 * s.steal_success_rate(),
                  static_cast<unsigned long long>(s.posts_via_ring()),
                  static_cast<unsigned long long>(s.ring_full_posts()), t.min_ms,
-                 t.mean_ms, t.max_ms, t.total_ms);
+                 t.mean_ms, t.max_ms, t.total_ms,
+                 static_cast<double>(h.p50()) / 1e6,
+                 static_cast<double>(h.p99()) / 1e6);
 }
 
 }  // namespace meek::bench

@@ -1,22 +1,70 @@
 #include "common/log.h"
 
+#include <cstdarg>
+#include <cstdio>
+
 namespace meek {
+namespace {
+
+const char* level_tag(log_level level) {
+    switch (level) {
+        case log_level::error: return "[error] ";
+        case log_level::warn: return "[warn ] ";
+        case log_level::info: return "[info ] ";
+        case log_level::trace: return "[trace] ";
+        case log_level::none: return nullptr;
+    }
+    return nullptr;
+}
+
+void emit(const std::string& line) {
+    // One fwrite per line: the stdio stream lock makes the whole line atomic
+    // with respect to every other logging thread.
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace
 
 log_level& global_log_level() {
     static log_level level = log_level::none;
     return level;
 }
 
-void log_message(log_level level, const std::string& msg) {
-    const char* tag = "";
-    switch (level) {
-        case log_level::error: tag = "[error] "; break;
-        case log_level::warn: tag = "[warn ] "; break;
-        case log_level::info: tag = "[info ] "; break;
-        case log_level::trace: tag = "[trace] "; break;
-        case log_level::none: return;
+std::string format_log_line(log_level level, std::string_view msg,
+                            std::size_t truncated_bytes) {
+    const char* tag = level_tag(level);
+    if (tag == nullptr) return {};
+    std::string line;
+    line.reserve(msg.size() + 48);
+    line += tag;
+    line += msg;
+    if (truncated_bytes != 0) {
+        line += " [truncated ";
+        line += std::to_string(truncated_bytes);
+        line += " bytes]";
     }
-    std::fprintf(stderr, "%s%s\n", tag, msg.c_str());
+    line += '\n';
+    return line;
+}
+
+void log_message(log_level level, const std::string& msg) {
+    const std::string line = format_log_line(level, msg);
+    if (!line.empty()) emit(line);
+}
+
+void log_formatted(log_level level, const char* fmt, ...) {
+    char buf[k_log_message_limit + 1];
+    std::va_list args;
+    va_start(args, fmt);
+    const int needed = std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    if (needed < 0) return;  // formatting error: nothing trustworthy to emit
+    const std::size_t truncated =
+        static_cast<std::size_t>(needed) > k_log_message_limit
+            ? static_cast<std::size_t>(needed) - k_log_message_limit
+            : 0;
+    const std::string line = format_log_line(level, buf, truncated);
+    if (!line.empty()) emit(line);
 }
 
 }  // namespace meek

@@ -1,27 +1,53 @@
 // Minimal leveled logging. Off by default so simulation loops stay hot;
 // enabled by tests/examples that want traces.
+//
+// Thread safety: every log line — level tag, message, optional truncation
+// note, newline — is assembled into one buffer and emitted with a single
+// fwrite, which locks the FILE stream, so concurrent MEEK_LOG calls from
+// pool workers can never shear into interleaved fragments.
+//
+// Truncation is bounded and explicit: a formatted message longer than
+// k_log_message_limit bytes is cut there and the emitted line ends with a
+// " [truncated N bytes]" note instead of silently dropping the tail.
 #pragma once
 
-#include <cstdio>
+#include <cstddef>
 #include <string>
+#include <string_view>
 
 namespace meek {
 
 enum class log_level { none = 0, error = 1, warn = 2, info = 3, trace = 4 };
 
+// Formatted-message capacity of MEEK_LOG / log_formatted (bytes, excluding
+// the terminator). Longer messages are truncated with an explicit note.
+inline constexpr std::size_t k_log_message_limit = 511;
+
 // Global verbosity. A plain mutable global is deliberate: it is a debug knob,
 // not program state (encapsulated here per I.30).
 log_level& global_log_level();
 
+// The exact line a log emission produces (including the trailing newline):
+// "[level] message" plus, when `truncated_bytes` is nonzero, the truncation
+// note. Exposed so tests can pin the format without capturing stderr.
+std::string format_log_line(log_level level, std::string_view msg,
+                            std::size_t truncated_bytes = 0);
+
+// Emit one whole line with a single fwrite (non-interleaving).
 void log_message(log_level level, const std::string& msg);
+
+// printf-style emission: formats into a k_log_message_limit buffer (with the
+// explicit truncation note past it) and emits with a single fwrite.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log_formatted(log_level level, const char* fmt, ...);
 
 #define MEEK_LOG(level, ...)                                                     \
     do {                                                                         \
         if (static_cast<int>(::meek::global_log_level()) >=                      \
             static_cast<int>(::meek::log_level::level)) {                        \
-            char meek_log_buf[512];                                              \
-            std::snprintf(meek_log_buf, sizeof meek_log_buf, __VA_ARGS__);       \
-            ::meek::log_message(::meek::log_level::level, meek_log_buf);         \
+            ::meek::log_formatted(::meek::log_level::level, __VA_ARGS__);        \
         }                                                                        \
     } while (0)
 

@@ -1,0 +1,83 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace meek::obs {
+
+void log_histogram::record_n(u64 value, u64 weight) {
+    if (weight == 0) return;
+    counts_[bucket_index(value)] += weight;
+    count_ += weight;
+    sum_ += value * weight;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void log_histogram::merge(const log_histogram& other) {
+    if (other.count_ == 0) return;
+    for (u32 i = 0; i < k_num_buckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+u64 log_histogram::value_at_quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q <= 0.0) return min_;
+    // The rank-th smallest sample (1-based); q >= 1 asks for the maximum.
+    u64 rank = static_cast<u64>(std::ceil(q * static_cast<double>(count_)));
+    rank = std::clamp<u64>(rank, 1, count_);
+    u64 cumulative = 0;
+    for (u32 i = 0; i < k_num_buckets; ++i) {
+        cumulative += counts_[i];
+        if (cumulative >= rank) {
+            // The bucket's highest contained value, clamped to the observed
+            // range: exact for the first octave, <=2^-s relative error after,
+            // and value_at_quantile(1.0) == max() exactly.
+            return std::clamp(bucket_hi(i) - 1, min_, max_);
+        }
+    }
+    return max_;  // unreachable when the counters are consistent
+}
+
+void atomic_log_histogram::record_n(u64 value, u64 weight) {
+    if (weight == 0) return;
+    counts_[bucket_index(value)].fetch_add(weight, std::memory_order_relaxed);
+    count_.fetch_add(weight, std::memory_order_relaxed);
+    sum_.fetch_add(value * weight, std::memory_order_relaxed);
+    u64 seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+}
+
+log_histogram atomic_log_histogram::snapshot() const {
+    // Per-cell relaxed copy: exact once every writer has quiesced, and the
+    // aggregates (count/sum/min/max) carry the exact recorded values, not
+    // bucket representatives.
+    log_histogram out;
+    for (u32 i = 0; i < k_num_buckets; ++i) {
+        out.counts_[i] = counts_[i].load(std::memory_order_relaxed);
+    }
+    out.count_ = count_.load(std::memory_order_relaxed);
+    out.sum_ = sum_.load(std::memory_order_relaxed);
+    out.min_ = min_.load(std::memory_order_relaxed);
+    out.max_ = max_.load(std::memory_order_relaxed);
+    return out;
+}
+
+void atomic_log_histogram::reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<u64>::max(), std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace meek::obs

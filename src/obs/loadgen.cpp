@@ -1,0 +1,65 @@
+#include "obs/loadgen.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace meek::obs {
+namespace {
+
+// splitmix64 of (seed, index): the same stream-separation mix the simulator
+// uses for per-job RNG streams, kept local so obs stays layer-independent.
+u64 mix64(u64 seed, u64 index) {
+    u64 z = seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<arrival> build_arrival_schedule(const arrival_schedule_config& cfg) {
+    const u64 qps = std::max<u64>(cfg.qps, 1);
+    const u64 mix = std::max<u64>(cfg.mix_size, 1);
+    const u64 interval_ns = std::max<u64>(1'000'000'000 / qps, 1);
+    std::vector<arrival> out;
+    out.reserve(cfg.requests);
+    for (u64 i = 0; i < cfg.requests; ++i) {
+        const u64 r = mix64(cfg.seed, i);
+        arrival a;
+        // Jitter stays inside the slot [i*I, (i+1)*I), so arrivals are sorted
+        // by construction and the long-run rate is exactly 1/I.
+        a.arrival_ns = i * interval_ns + (cfg.jitter ? r % interval_ns : 0);
+        a.mix_index = mix64(r, 1) % mix;
+        out.push_back(a);
+    }
+    return out;
+}
+
+open_loop_result simulate_open_loop(const std::vector<arrival>& arrivals,
+                                    std::span<const u64> service_ns_by_mix,
+                                    u32 servers) {
+    open_loop_result result;
+    const u32 s = std::max<u32>(servers, 1);
+    // Earliest-free server next; ties break to the lowest index so the
+    // simulation is a pure function of its inputs.
+    using slot = std::pair<u64, u32>;  // (free at, server index)
+    std::priority_queue<slot, std::vector<slot>, std::greater<>> free_at;
+    for (u32 k = 0; k < s; ++k) free_at.emplace(0, k);
+    for (const arrival& a : arrivals) {
+        const u64 service_ns =
+            service_ns_by_mix.empty()
+                ? 0
+                : service_ns_by_mix[a.mix_index % service_ns_by_mix.size()];
+        auto [free_ns, server] = free_at.top();
+        free_at.pop();
+        const u64 start_ns = std::max(free_ns, a.arrival_ns);
+        const u64 done_ns = start_ns + service_ns;
+        free_at.emplace(done_ns, server);
+        result.latency_ns.record(done_ns - a.arrival_ns);
+        ++result.completed;
+        result.makespan_ns = std::max(result.makespan_ns, done_ns);
+    }
+    return result;
+}
+
+}  // namespace meek::obs

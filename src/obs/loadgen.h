@@ -1,0 +1,60 @@
+// Open-loop load generation: deterministic arrival schedules and a virtual-
+// time queueing simulator, the machinery under `serve_bench --load-gen`.
+//
+// The schedule is a pure function of its config — request i arrives at
+// i * (1e9 / qps) ns plus a deterministic sub-slot jitter derived from
+// (seed, i) by splitmix64, and draws its request template the same way — so
+// two runs at the same (seed, qps, requests, mix) produce byte-identical
+// schedules regardless of thread count or wall-clock behaviour. This is the
+// "Poisson-free" open-loop discipline: arrivals never wait for completions
+// (no coordinated omission), but the rate is fixed rather than sampled, so
+// the tail a sweep exposes is the system's, not the arrival process's.
+//
+// Virtual-time mode makes the tail CI-pinnable: given a deterministic
+// per-template service time (in practice the simulated outcome's cycle count
+// at 1 cycle == 1 ns), `simulate_open_loop` runs the schedule through an
+// S-server FIFO queue in virtual time — each request starts on the earliest-
+// free server (ties to the lowest index), latency is completion minus
+// scheduled arrival — so saturation and queueing delay show up exactly as
+// queueing theory says they must, and the resulting p50/p99/p999 are
+// byte-identical run to run.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace meek::obs {
+
+struct arrival {
+    u64 arrival_ns = 0;  // offset from schedule start, non-decreasing
+    u64 mix_index = 0;   // which request template this arrival issues
+    bool operator==(const arrival&) const = default;
+};
+
+struct arrival_schedule_config {
+    u64 qps = 1000;      // target arrival rate (clamped to >= 1)
+    u64 requests = 100;  // schedule length
+    u64 seed = 0;        // drives jitter and template draws
+    u64 mix_size = 1;    // number of request templates (clamped to >= 1)
+    bool jitter = true;  // deterministic sub-slot jitter (keeps arrivals sorted)
+};
+
+// Pure function of `cfg`: same config => byte-identical schedule, at any
+// thread count, on any run.
+std::vector<arrival> build_arrival_schedule(const arrival_schedule_config& cfg);
+
+struct open_loop_result {
+    log_histogram latency_ns;  // completion - scheduled arrival, per request
+    u64 completed = 0;
+    u64 makespan_ns = 0;  // last completion, relative to the schedule start
+};
+
+// Deterministic S-server FIFO queue in virtual time. `service_ns_by_mix[m]`
+// is the service time of template m; every arrival's mix_index must index it.
+open_loop_result simulate_open_loop(const std::vector<arrival>& arrivals,
+                                    std::span<const u64> service_ns_by_mix,
+                                    u32 servers);
+
+}  // namespace meek::obs

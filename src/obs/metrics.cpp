@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace meek::obs {
+namespace {
+
+// Sorted insert-or-overwrite over a by-name vector.
+template <class Entry, class Value>
+void upsert(std::vector<Entry>& entries, std::string_view name, Value&& value) {
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), name,
+        [](const Entry& e, std::string_view n) { return e.name < n; });
+    if (it != entries.end() && it->name == name) {
+        if constexpr (requires { it->value; }) {
+            it->value = value;
+        } else {
+            it->hist = std::forward<Value>(value);
+        }
+        return;
+    }
+    Entry e;
+    e.name = std::string(name);
+    if constexpr (requires { e.value; }) {
+        e.value = value;
+    } else {
+        e.hist = std::forward<Value>(value);
+    }
+    entries.insert(it, std::move(e));
+}
+
+template <class Entry>
+auto find_by_name(const std::vector<Entry>& entries, std::string_view name) {
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), name,
+        [](const Entry& e, std::string_view n) { return e.name < n; });
+    return (it != entries.end() && it->name == name) ? &*it : nullptr;
+}
+
+}  // namespace
+
+void metrics_snapshot::set_counter(std::string_view name, u64 value) {
+    upsert(counters, name, value);
+}
+
+void metrics_snapshot::set_gauge(std::string_view name, u64 value) {
+    upsert(gauges, name, value);
+}
+
+void metrics_snapshot::add_histogram(std::string_view name, log_histogram hist) {
+    upsert(histograms, name, std::move(hist));
+}
+
+const u64* metrics_snapshot::counter_value(std::string_view name) const {
+    const metric_entry* e = find_by_name(counters, name);
+    return e ? &e->value : nullptr;
+}
+
+const u64* metrics_snapshot::gauge_value(std::string_view name) const {
+    const metric_entry* e = find_by_name(gauges, name);
+    return e ? &e->value : nullptr;
+}
+
+const log_histogram* metrics_snapshot::histogram(std::string_view name) const {
+    const histogram_entry* e = find_by_name(histograms, name);
+    return e ? &e->hist : nullptr;
+}
+
+counter& metrics_registry::get_counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(std::string(name), std::make_unique<counter>()).first;
+    }
+    return *it->second;
+}
+
+counter& metrics_registry::get_gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(std::string(name), std::make_unique<counter>()).first;
+    }
+    return *it->second;
+}
+
+atomic_log_histogram& metrics_registry::get_histogram(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(std::string(name), std::make_unique<atomic_log_histogram>())
+                 .first;
+    }
+    return *it->second;
+}
+
+metrics_snapshot metrics_registry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+        snap.counters.push_back({name, c->value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+        snap.gauges.push_back({name, g->value()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        snap.histograms.push_back({name, h->snapshot()});
+    }
+    return snap;  // std::map iteration order == sorted by name
+}
+
+}  // namespace meek::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <istream>
 #include <optional>
 #include <ostream>
@@ -65,6 +66,13 @@ struct gateway::worker {
     // unreachable host throttle the whole session.
     u32 retry_backoff = 1;
     u32 batches_until_retry = 0;
+
+    // Session-lifetime observability, surfaced per worker index through
+    // gateway::contribute_metrics. error_rows counts both error rows this
+    // worker actually returned and rows synthesized for slots it owed when
+    // it failed mid-batch; respawns counts successful revivals.
+    u64 error_rows = 0;
+    u64 respawns = 0;
 
     void fail(const std::string& why) {
         failed = true;
@@ -148,6 +156,7 @@ std::size_t gateway::revive_workers() {
             if (auto sock = connect_endpoint(*w.endpoint, &error)) {
                 w.sock = std::move(sock);
                 w.revive();
+                ++w.respawns;
                 ++revived;
             } else {
                 w.revival_failed();
@@ -161,6 +170,7 @@ std::size_t gateway::revive_workers() {
             if (auto proc = child_process::spawn(opts_.worker_argv, {}, &error)) {
                 w.proc = std::move(proc);
                 w.revive();
+                ++w.respawns;
                 ++revived;
             } else {
                 w.revival_failed();
@@ -257,6 +267,12 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
         threads.emplace_back([this, k, &owned, &lines, &received] {
             worker& w = *workers_[k];
             std::iostream& io = *w.io();
+            const auto rt_start = std::chrono::steady_clock::now();
+            const auto note_rt = [this, rt_start] {
+                const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - rt_start);
+                worker_rt_ns_.record(d.count() > 0 ? static_cast<u64>(d.count()) : 0);
+            };
             for (const std::size_t g : owned[k]) {
                 io << lines[g] << '\n';
             }
@@ -268,7 +284,10 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
             }
             std::string line;
             while (std::getline(io, line)) {
-                if (is_blank_line(line)) return;  // end-of-batch marker
+                if (is_blank_line(line)) {  // end-of-batch marker
+                    note_rt();
+                    return;
+                }
                 received[k].emplace_back(strip_cr(line));
             }
             w.fail("EOF before end-of-batch marker");
@@ -299,6 +318,7 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
             if (!row->error.empty()) {
                 rs.settled_by_error = true;
                 ++rs.error_rows;
+                ++workers_[k]->error_rows;
             }
             rs.rows.emplace_back(row->repeat, std::move(line));
         }
@@ -336,6 +356,7 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
             err.error = "gateway: worker " + std::to_string(rs.owner) +
                         " failed mid-batch";
             ++rs.error_rows;
+            if (num_workers > 0) ++workers_[rs.owner]->error_rows;
             rs.rows.emplace_back(r, to_json(err));
         }
     }
@@ -381,6 +402,24 @@ gateway_stats gateway::serve_stream(std::istream& in, std::ostream& out, bool fr
     while (serve_batch(in, out, &total, framed)) {
     }
     return total;
+}
+
+void gateway::contribute_metrics(obs::metrics_snapshot& snap,
+                                 const gateway_stats& totals) const {
+    snap.set_counter("gateway.requests", totals.requests);
+    snap.set_counter("gateway.rows", totals.rows);
+    snap.set_counter("gateway.errors", totals.errors);
+    snap.set_counter("gateway.worker_failures", totals.worker_failures);
+    snap.set_counter("gateway.workers_respawned", totals.workers_respawned);
+    snap.set_gauge("gateway.workers", workers_.size());
+    snap.set_gauge("gateway.workers_alive", alive_workers());
+    snap.add_histogram("gateway.worker_rt_ns", worker_rt_ns_.snapshot());
+    for (std::size_t k = 0; k < workers_.size(); ++k) {
+        const std::string p = "gateway.worker." + std::to_string(k);
+        snap.set_counter(p + ".error_rows", workers_[k]->error_rows);
+        snap.set_counter(p + ".respawns", workers_[k]->respawns);
+        snap.set_gauge(p + ".alive", workers_[k]->failed ? 0 : 1);
+    }
 }
 
 }  // namespace meek::serve

@@ -44,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "serve/transport.h"
 
 namespace meek::serve {
@@ -91,6 +93,16 @@ public:
     gateway_stats serve_stream(std::istream& in, std::ostream& out,
                                bool framed = false);
 
+    // Pour the gateway's observability into `snap`: the session totals as
+    // gateway.* counters, the per-sub-batch worker round-trip latency
+    // histogram (write of the first request line to the end-of-batch marker,
+    // per worker per batch), an alive-workers gauge, and per-worker
+    // gateway.worker.<k>.error_rows / .respawns counters — error rows are
+    // attributed to the worker that emitted (or, for synthesized rows, owed)
+    // them, so one flaky worker is visible by index.
+    void contribute_metrics(obs::metrics_snapshot& snap,
+                            const gateway_stats& totals) const;
+
 private:
     struct worker;
 
@@ -100,6 +112,9 @@ private:
 
     gateway_options opts_;
     std::vector<std::unique_ptr<worker>> workers_;
+    // Worker sub-batch round-trip latency; recorded concurrently by the
+    // per-worker fan-out threads, hence the atomic variant.
+    obs::atomic_log_histogram worker_rt_ns_;
 };
 
 }  // namespace meek::serve

@@ -147,6 +147,24 @@ parsed_request parse_request(std::string_view line) {
     return out;
 }
 
+bool parse_stats_request(std::string_view line, std::string* out_id) {
+    const std::optional<json_value> doc = json_parse(line);
+    if (!doc || !doc->is_object()) return false;
+    const json_value* stats = doc->get("stats");
+    if (stats == nullptr || !stats->is_bool() || !stats->as_bool()) return false;
+    std::string id;
+    for (const auto& [key, value] : doc->members()) {
+        if (key == "stats") continue;
+        if (key == "id" && value.is_string()) {
+            id = value.as_string();
+            continue;
+        }
+        return false;  // unknown field: fall through to the strict parser
+    }
+    if (out_id) *out_id = std::move(id);
+    return true;
+}
+
 std::string to_json(const run_request& req) {
     json_object_writer w;
     if (!req.id.empty()) w.field("id", req.id);
@@ -215,6 +233,7 @@ std::string resolve_request(const run_request& req, u64 repeat, sim::run_spec* o
 }
 
 std::string to_json(const response_row& row) {
+    if (!row.raw.empty()) return row.raw;
     json_object_writer w;
     w.field("request", row.request_index);
     w.field("repeat", row.repeat);
@@ -254,6 +273,12 @@ std::optional<response_row> parse_response(std::string_view line, std::string* e
     if ((v = doc->get("request"))) row.request_index = v->as_u64();
     if ((v = doc->get("repeat"))) row.repeat = v->as_u64();
     if ((v = doc->get("id"))) row.id = v->as_string();
+    if (doc->get("stats") != nullptr) {
+        // A stats row passes through whole: re-serializing it would need the
+        // full stats schema, and the gateway only rewrites its index anyway.
+        row.raw = std::string(line);
+        return row;
+    }
     if ((v = doc->get("error"))) {
         row.error = v->as_string();
         return row;

@@ -90,6 +90,15 @@ std::string to_json(const run_request& req);
 // message, or "" on success.
 std::string resolve_request(const run_request& req, u64 repeat, sim::run_spec* out);
 
+// A stats request line — `{"stats":true}` with an optional `"id"` — asks the
+// service for one observability row instead of an evaluation:
+//   {"request":N,"repeat":0,("id":...,)"stats":{...meek.stats.v1 document...}}
+// Returns true when `line` is such a request; `out_id` (optional) receives
+// the echoed id. Any other fields, or "stats" not literally true, make the
+// line an ordinary (and thus erroring) run request — a typo must not
+// silently turn into a stats probe.
+bool parse_stats_request(std::string_view line, std::string* out_id = nullptr);
+
 // One NDJSON response row.
 struct response_row {
     u64 request_index = 0;
@@ -98,6 +107,10 @@ struct response_row {
     std::string error;  // nonempty => the outcome fields are absent
     u64 seed = 0;       // the workload seed this repeat actually used
     sim::run_outcome outcome;
+    // Pre-serialized row (stats rows): when nonempty, to_json() emits it
+    // verbatim — it must start with the "request" field like every row, so
+    // the gateway's index rewrite applies unchanged.
+    std::string raw;
 };
 
 std::string to_json(const response_row& row);

@@ -1,9 +1,23 @@
 #include "serve/service.h"
 
+#include <chrono>
 #include <istream>
 #include <ostream>
 
+#include "obs/stats_json.h"
+#include "serve/json.h"
+
 namespace meek::serve {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+u64 elapsed_ns(clock::time_point from, clock::time_point to) {
+    const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(to - from);
+    return d.count() > 0 ? static_cast<u64>(d.count()) : 0;
+}
+
+}  // namespace
 
 service::service(const service_options& opts)
     : cache_(opts.cache_capacity),
@@ -12,17 +26,39 @@ service::service(const service_options& opts)
 
 std::vector<response_row> service::evaluate(const std::vector<std::string>& lines,
                                             batch_stats* stats) {
+    // Stage histograms, resolved once per batch: recording is relaxed-atomic.
+    obs::atomic_log_histogram& parse_ns = metrics_.get_histogram("service.parse_ns");
+    obs::atomic_log_histogram& resolve_ns =
+        metrics_.get_histogram("service.resolve_ns");
+    obs::atomic_log_histogram& execute_ns =
+        metrics_.get_histogram("service.execute_ns");
+
     // Phase 1: parse and resolve every line on the session thread; collect
     // the dispatchable specs in (request, repeat) order.
     struct slot {
         response_row row;            // id/error prefilled; outcome filled later
         std::size_t spec_index = 0;  // into `specs` when error is empty
+        bool stats_row = false;      // filled from the snapshot after merging
     };
     std::vector<slot> slots;
     std::vector<sim::run_spec> specs;
+    bool any_stats_row = false;
 
     for (std::size_t i = 0; i < lines.size(); ++i) {
+        const auto parse_start = clock::now();
+        std::string stats_id;
+        if (parse_stats_request(strip_cr(lines[i]), &stats_id)) {
+            parse_ns.record(elapsed_ns(parse_start, clock::now()));
+            slot s;
+            s.row.request_index = i;
+            s.row.id = std::move(stats_id);
+            s.stats_row = true;
+            any_stats_row = true;
+            slots.push_back(std::move(s));
+            continue;
+        }
         parsed_request parsed = parse_request(strip_cr(lines[i]));
+        parse_ns.record(elapsed_ns(parse_start, clock::now()));
         if (!parsed.ok()) {
             slot s;
             s.row.request_index = i;
@@ -37,7 +73,9 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
             s.row.repeat = r;
             s.row.id = req.id;
             sim::run_spec spec;
+            const auto resolve_start = clock::now();
             const std::string err = resolve_request(req, r, &spec);
+            resolve_ns.record(elapsed_ns(resolve_start, clock::now()));
             if (!err.empty()) {
                 s.row.error = err;
                 slots.push_back(std::move(s));
@@ -53,21 +91,27 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
 
     // Phase 2: fan the jobs out — longest spec first, through the completed-
     // result cache so a repeated identical evaluation is free; results return
-    // in spec order.
+    // in spec order. One execute-stage sample per batch: the end-to-end fan-
+    // out wall time (per-job queue-wait/run splits live in the pool
+    // histograms).
+    const auto execute_start = clock::now();
     const std::vector<sim::run_outcome> outcomes = pool_.map(
         specs, /*base_seed=*/0,
         [this](const sim::run_spec& spec, const sim::job_context&) {
             return outcomes_.outcome_for(spec);
         },
         [](const sim::run_spec& spec) { return sim::cost_hint(spec); });
+    if (!specs.empty()) execute_ns.record(elapsed_ns(execute_start, clock::now()));
 
     // Phase 3: merge outcomes back into their slots.
     std::vector<response_row> rows;
     rows.reserve(slots.size());
+    u64 errors = 0;
     for (slot& s : slots) {
-        if (s.row.error.empty()) {
+        if (s.row.error.empty() && !s.stats_row) {
             s.row.outcome = outcomes[s.spec_index];
         }
+        if (!s.row.error.empty()) ++errors;
         rows.push_back(std::move(s.row));
     }
 
@@ -75,8 +119,26 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
         stats->requests += lines.size();
         stats->rows += rows.size();
         stats->jobs += specs.size();
-        for (const response_row& row : rows) {
-            if (!row.error.empty()) ++stats->errors;
+        stats->errors += errors;
+    }
+    metrics_.get_counter("service.requests").add(lines.size());
+    metrics_.get_counter("service.rows").add(rows.size());
+    metrics_.get_counter("service.jobs").add(specs.size());
+    metrics_.get_counter("service.errors").add(errors);
+
+    // Stats rows last: the snapshot includes this batch's own counters and
+    // spans (minus serialization, which has not happened yet), and is built
+    // once however many stats lines the batch carried.
+    if (any_stats_row) {
+        const std::string snapshot_json = obs::stats_json(stats_snapshot());
+        for (std::size_t k = 0; k < rows.size(); ++k) {
+            if (!slots[k].stats_row) continue;
+            json_object_writer w;
+            w.field("request", rows[k].request_index);
+            w.field("repeat", u64{0});
+            if (!rows[k].id.empty()) w.field("id", rows[k].id);
+            w.field_raw("stats", snapshot_json);
+            rows[k].raw = w.str();
         }
     }
     return rows;
@@ -87,8 +149,13 @@ bool service::serve_batch(std::istream& in, std::ostream& out, batch_stats* stat
     const std::vector<std::string> lines = read_batch_lines(in);
     if (lines.empty()) return false;
 
+    obs::atomic_log_histogram& serialize_ns =
+        metrics_.get_histogram("service.serialize_ns");
     for (const response_row& row : evaluate(lines, stats)) {
-        out << to_json(row) << '\n';
+        const auto start = clock::now();
+        const std::string json = to_json(row);
+        serialize_ns.record(elapsed_ns(start, clock::now()));
+        out << json << '\n';
     }
     if (framed) out << '\n';  // end-of-batch marker, mirroring request framing
     out.flush();
@@ -100,6 +167,22 @@ batch_stats service::serve_stream(std::istream& in, std::ostream& out, bool fram
     while (serve_batch(in, out, &total, framed)) {
     }
     return total;
+}
+
+obs::metrics_snapshot service::stats_snapshot() const {
+    obs::metrics_snapshot snap = metrics_.snapshot();
+    const workload_cache_stats cs = cache_.stats();
+    snap.set_counter("workload_cache.hits", cs.hits);
+    snap.set_counter("workload_cache.misses", cs.misses);
+    snap.set_counter("workload_cache.evictions", cs.evictions);
+    snap.set_gauge("workload_cache.size", cache_.size());
+    const outcome_cache_stats os = outcomes_.stats();
+    snap.set_counter("outcome_cache.hits", os.hits);
+    snap.set_counter("outcome_cache.misses", os.misses);
+    snap.set_counter("outcome_cache.evictions", os.evictions);
+    snap.set_gauge("outcome_cache.size", outcomes_.size());
+    pool_.contribute_metrics(snap);
+    return snap;
 }
 
 }  // namespace meek::serve

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/outcome_cache.h"
 #include "serve/protocol.h"
 #include "serve/workload_cache.h"
@@ -66,8 +67,22 @@ public:
     const workload_cache& cache() const { return cache_; }
     const outcome_cache& outcomes() const { return outcomes_; }
     sim::executor& pool() { return pool_; }
+    obs::metrics_registry& metrics() { return metrics_; }
+
+    // The session's full observability picture: the registry's counters and
+    // per-stage latency histograms (service.parse_ns / resolve_ns /
+    // execute_ns / serialize_ns), overlaid with the workload/outcome cache
+    // stats and the executor's pool counters + queue-wait/run histograms —
+    // the existing stat structs re-plumbed into one sorted snapshot. This is
+    // what `meek_serve --stats-json` exports and what a `{"stats":true}`
+    // request line returns inline.
+    obs::metrics_snapshot stats_snapshot() const;
 
 private:
+    // Declared before the executor: jobs drained by the pool's destructor
+    // never touch the registry, but the registry must outlive evaluate()
+    // callers' recording handles anyway — first is simplest.
+    obs::metrics_registry metrics_;
     workload_cache cache_;
     outcome_cache outcomes_;
     sim::executor pool_;

@@ -27,26 +27,49 @@ u32 resolve_thread_count(u32 requested) {
 executor::executor(u32 num_threads) : pool_(resolve_thread_count(num_threads)) {}
 
 executor_timing executor::timing() const {
-    std::lock_guard<std::mutex> lock(timing_mutex_);
+    // One code path for the legacy summary and the percentile view: both are
+    // projections of the run-time histogram. count/sum/min/max are exact
+    // (not bucket representatives), so min <= mean <= max and total >= max
+    // hold exactly as they did for the old mutexed accumulator.
+    const obs::log_histogram h = run_ns_.snapshot();
     executor_timing t;
-    t.jobs = job_ms_.count();
-    t.min_ms = job_ms_.min();
-    t.mean_ms = job_ms_.mean();
-    t.max_ms = job_ms_.max();
-    t.total_ms = total_job_ms_;
+    t.jobs = h.count();
+    t.min_ms = static_cast<double>(h.min()) / 1e6;
+    t.mean_ms = h.mean() / 1e6;
+    t.max_ms = static_cast<double>(h.max()) / 1e6;
+    t.total_ms = static_cast<double>(h.sum()) / 1e6;
     return t;
 }
 
 void executor::reset_timing() {
-    std::lock_guard<std::mutex> lock(timing_mutex_);
-    job_ms_ = running_stat{};
-    total_job_ms_ = 0.0;
+    run_ns_.reset();
+    queue_wait_ns_.reset();
 }
 
-void executor::note_job_ms(double ms) {
-    std::lock_guard<std::mutex> lock(timing_mutex_);
-    job_ms_.add(ms);
-    total_job_ms_ += ms;
+void executor::note_job(std::chrono::steady_clock::time_point posted,
+                        std::chrono::steady_clock::time_point started,
+                        std::chrono::steady_clock::time_point finished) {
+    const auto ns = [](auto from, auto to) -> u64 {
+        const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(to - from);
+        return d.count() > 0 ? static_cast<u64>(d.count()) : 0;
+    };
+    queue_wait_ns_.record(ns(posted, started));
+    run_ns_.record(ns(started, finished));
+}
+
+void executor::contribute_metrics(obs::metrics_snapshot& snap,
+                                  std::string_view prefix) const {
+    const std::string p(prefix);
+    snap.add_histogram(p + ".queue_wait_ns", queue_wait_ns_.snapshot());
+    snap.add_histogram(p + ".run_ns", run_ns_.snapshot());
+    const sched::pool_stats s = pool_.stats();
+    snap.set_counter(p + ".executed", s.executed());
+    snap.set_counter(p + ".steals", s.steals());
+    snap.set_counter(p + ".steal_attempts", s.steal_attempts());
+    snap.set_counter(p + ".posts_via_ring", s.posts_via_ring());
+    snap.set_counter(p + ".ring_full_posts", s.ring_full_posts());
+    snap.set_gauge(p + ".threads", pool_.size());
+    snap.set_gauge(p + ".busy_us", static_cast<u64>(s.busy_ms() * 1000.0));
 }
 
 executor::batch_plan executor::plan_batch(std::size_t count,

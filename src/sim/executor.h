@@ -37,6 +37,8 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "sched/placement.h"
 #include "sched/pool.h"
 
@@ -80,9 +82,23 @@ public:
     u32 num_threads() const { return pool_.size(); }
 
     // Per-job wall-time summary over every indexed job completed since
-    // construction (or the last reset). Thread-safe.
+    // construction (or the last reset). Thread-safe. Derived from the run-time
+    // latency histogram below, so the legacy min/mean/max view and the
+    // percentile view can never disagree: count and sum are exact, min/max
+    // are the exact extremes.
     executor_timing timing() const;
     void reset_timing();
+
+    // Per-job latency distributions (nanoseconds): time from post() to the
+    // job body starting (queue wait — scheduling delay, the saturation
+    // signal) and the body's own wall time. Snapshots are cheap copies.
+    obs::log_histogram queue_wait_histogram() const { return queue_wait_ns_.snapshot(); }
+    obs::log_histogram run_time_histogram() const { return run_ns_.snapshot(); }
+
+    // Re-plumb the pool's counters and latency histograms into a metrics
+    // snapshot under `prefix` ("pool.queue_wait_ns", "pool.executed", ...).
+    void contribute_metrics(obs::metrics_snapshot& snap,
+                            std::string_view prefix = "pool") const;
 
     // The scheduler's own per-worker counters: tasks executed, tasks stolen,
     // steal probes, inject-ring traffic, busy wall time. Steals > 0 on a
@@ -127,16 +143,16 @@ public:
         const batch_plan plan = plan_batch(count, cost_hints);
         for (const std::size_t i : plan.push_order) {
             const job_context ctx{i, derive_stream_seed(base_seed, i)};
-            // Each job's body is wall-clock timed into the pool's summary —
-            // purely diagnostic, never fed back into results, so determinism
-            // holds.
+            // Each job's body is wall-clock timed into the pool's latency
+            // histograms (queue wait = post to start, run = the body itself)
+            // — purely diagnostic, never fed back into results, so
+            // determinism holds.
+            const auto posted = std::chrono::steady_clock::now();
             auto task = std::make_shared<std::packaged_task<result_t()>>(
-                [this, fn, ctx] {
+                [this, fn, ctx, posted] {
                     const auto start = std::chrono::steady_clock::now();
                     result_t result = fn(ctx);
-                    note_job_ms(std::chrono::duration<double, std::milli>(
-                                    std::chrono::steady_clock::now() - start)
-                                    .count());
+                    note_job(posted, start, std::chrono::steady_clock::now());
                     return result;
                 });
             futures[i] = task->get_future();
@@ -188,17 +204,18 @@ private:
     };
     batch_plan plan_batch(std::size_t count, std::span<const double> cost_hints) const;
 
-    void note_job_ms(double ms);
+    void note_job(std::chrono::steady_clock::time_point posted,
+                  std::chrono::steady_clock::time_point started,
+                  std::chrono::steady_clock::time_point finished);
 
     std::atomic<u64> next_home_{0};
 
-    mutable std::mutex timing_mutex_;
-    running_stat job_ms_;
-    double total_job_ms_ = 0.0;
+    obs::atomic_log_histogram queue_wait_ns_;
+    obs::atomic_log_histogram run_ns_;
 
     // Declared last on purpose: the pool's destructor drains still-queued
-    // jobs, whose bodies call note_job_ms — the timing members above must
-    // outlive it (members destruct in reverse declaration order).
+    // jobs, whose bodies call note_job — the histograms above must outlive
+    // it (members destruct in reverse declaration order).
     sched::pool pool_;
 };
 

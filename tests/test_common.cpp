@@ -1,14 +1,18 @@
 // Unit + property tests for the common substrate: bit utilities, RNG,
-// statistics, bounded FIFO and clock domains.
+// statistics, bounded FIFO, clock domains, and leveled logging.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/bits.h"
 #include "common/clock.h"
 #include "common/config.h"
 #include "common/fifo.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -223,6 +227,87 @@ TEST(config, little_core_tuning_knobs) {
     EXPECT_EQ(opt.achievable_freq_mhz(), 2000u);
 
     EXPECT_EQ(opt.lsl_entries(), 256u);  // 4 KB / 16 B
+}
+
+TEST(log, format_pins_tag_message_and_newline) {
+    EXPECT_EQ(format_log_line(log_level::error, "boom"), "[error] boom\n");
+    EXPECT_EQ(format_log_line(log_level::warn, "w"), "[warn ] w\n");
+    EXPECT_EQ(format_log_line(log_level::info, "i"), "[info ] i\n");
+    EXPECT_EQ(format_log_line(log_level::trace, "t"), "[trace] t\n");
+    // Level none is "no logging", never a line.
+    EXPECT_EQ(format_log_line(log_level::none, "x"), "");
+}
+
+TEST(log, truncation_note_is_explicit) {
+    EXPECT_EQ(format_log_line(log_level::info, "msg", 42),
+              "[info ] msg [truncated 42 bytes]\n");
+    // No note when nothing was cut.
+    EXPECT_EQ(format_log_line(log_level::info, "msg", 0), "[info ] msg\n");
+}
+
+TEST(log, formatted_messages_truncate_at_the_documented_limit) {
+    // A message `k_log_message_limit` bytes long fits exactly; one byte more
+    // is cut with the note. Captured via stderr because log_formatted's
+    // vsnprintf pass is the thing under test.
+    const std::string fits(k_log_message_limit, 'a');
+    const std::string over(k_log_message_limit + 7, 'b');
+    const log_level saved = global_log_level();
+    global_log_level() = log_level::info;
+    testing::internal::CaptureStderr();
+    MEEK_LOG(info, "%s", fits.c_str());
+    MEEK_LOG(info, "%s", over.c_str());
+    const std::string captured = testing::internal::GetCapturedStderr();
+    global_log_level() = saved;
+
+    const std::string expected =
+        format_log_line(log_level::info, fits) +
+        format_log_line(log_level::info,
+                        std::string(k_log_message_limit, 'b'), 7);
+    EXPECT_EQ(captured, expected);
+}
+
+TEST(log, concurrent_messages_never_interleave) {
+    // 8 threads × 50 lines of distinct content: every captured line must be
+    // exactly one of the emitted lines — a sheared line would parse as a
+    // fragment matching none of them.
+    constexpr int k_threads = 8;
+    constexpr int k_lines = 50;
+    const log_level saved = global_log_level();
+    global_log_level() = log_level::info;
+    testing::internal::CaptureStderr();
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < k_threads; ++t) {
+            threads.emplace_back([t] {
+                for (int i = 0; i < k_lines; ++i) {
+                    log_message(log_level::info,
+                                "thread " + std::to_string(t) + " line " +
+                                    std::to_string(i) + " " +
+                                    std::string(100, 'x'));
+                }
+            });
+        }
+        for (std::thread& t : threads) t.join();
+    }
+    const std::string captured = testing::internal::GetCapturedStderr();
+    global_log_level() = saved;
+
+    std::istringstream lines(captured);
+    std::string line;
+    int count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        // "[info ] thread T line I xxx...x" — reconstructible iff unsheared.
+        std::istringstream fields(line);
+        std::string tag1, tag2, word_thread, t_str, word_line, i_str, payload;
+        fields >> tag1 >> tag2 >> word_thread >> t_str >> word_line >> i_str >>
+            payload;
+        ASSERT_EQ(tag1 + tag2, "[info]") << "sheared line: " << line;
+        ASSERT_EQ(word_thread, "thread") << "sheared line: " << line;
+        ASSERT_EQ(word_line, "line") << "sheared line: " << line;
+        ASSERT_EQ(payload, std::string(100, 'x')) << "sheared line: " << line;
+    }
+    EXPECT_EQ(count, k_threads * k_lines);
 }
 
 }  // namespace

@@ -1,0 +1,301 @@
+// Tests for the observability layer: log-bucketed histogram exactness and
+// bucket geometry, deterministic merge, concurrent recording, the metrics
+// registry/snapshot, stats JSON round-tripping through the serve JSON
+// parser, and the open-loop load-generation machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/histogram.h"
+#include "obs/loadgen.h"
+#include "obs/metrics.h"
+#include "obs/stats_json.h"
+#include "serve/json.h"
+
+namespace meek::obs {
+namespace {
+
+TEST(bucket_scheme, first_octave_is_exact) {
+    for (u64 v = 0; v < k_sub_buckets; ++v) {
+        EXPECT_EQ(bucket_index(v), static_cast<u32>(v));
+        EXPECT_EQ(bucket_lo(static_cast<u32>(v)), v);
+        EXPECT_EQ(bucket_hi(static_cast<u32>(v)), v + 1);
+    }
+}
+
+TEST(bucket_scheme, powers_of_two_land_exactly_on_bucket_lower_edges) {
+    for (u32 k = 0; k < 64; ++k) {
+        const u64 v = u64{1} << k;
+        const u32 idx = bucket_index(v);
+        EXPECT_EQ(bucket_lo(idx), v) << "2^" << k;
+        if (v >= 2) {
+            // The value one below the boundary falls in the previous bucket.
+            EXPECT_EQ(bucket_index(v - 1), idx - 1) << "2^" << k << " - 1";
+        }
+    }
+}
+
+TEST(bucket_scheme, buckets_tile_the_u64_range) {
+    EXPECT_EQ(bucket_index(std::numeric_limits<u64>::max()), k_num_buckets - 1);
+    EXPECT_EQ(bucket_hi(k_num_buckets - 1), std::numeric_limits<u64>::max());
+    // Adjacent buckets share an edge (hi of i == lo of i+1) everywhere.
+    for (u32 i = 0; i + 1 < k_num_buckets; ++i) {
+        ASSERT_EQ(bucket_hi(i), bucket_lo(i + 1)) << "bucket " << i;
+    }
+}
+
+TEST(bucket_scheme, containment_and_relative_error_bound) {
+    rng r(11);
+    for (int i = 0; i < 20'000; ++i) {
+        const u64 v = r.next() >> (r.next() % 64);  // span all magnitudes
+        const u32 idx = bucket_index(v);
+        ASSERT_LT(idx, k_num_buckets);
+        ASSERT_LE(bucket_lo(idx), v);
+        ASSERT_LT(v, bucket_hi(idx));
+        if (idx >= k_sub_buckets && idx + 1 < k_num_buckets) {
+            // Sub-bucket width is at most lo / k_sub_buckets: the <= 1/32
+            // relative quantization error the header promises.
+            ASSERT_LE((bucket_hi(idx) - bucket_lo(idx)) * k_sub_buckets,
+                      bucket_lo(idx));
+        }
+    }
+}
+
+TEST(log_histogram, exactness_contract) {
+    log_histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);  // empty: min reads 0, not u64 max
+    EXPECT_EQ(h.value_at_quantile(0.5), 0u);
+
+    const std::vector<u64> samples = {3, 1'000'000, 17, 3, 999, 1u << 20};
+    u64 sum = 0;
+    for (const u64 v : samples) {
+        h.record(v);
+        sum += v;
+    }
+    EXPECT_EQ(h.count(), samples.size());
+    EXPECT_EQ(h.sum(), sum);  // exact, not bucket representatives
+    EXPECT_EQ(h.min(), 3u);
+    EXPECT_EQ(h.max(), u64{1} << 20);
+    EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / samples.size());
+    // The extreme quantiles are the exact extremes, per the clamping contract.
+    EXPECT_EQ(h.value_at_quantile(0.0), 3u);
+    EXPECT_EQ(h.value_at_quantile(1.0), u64{1} << 20);
+}
+
+TEST(log_histogram, quantiles_are_monotone_and_clamped_into_min_max) {
+    log_histogram h;
+    rng r(23);
+    for (int i = 0; i < 5'000; ++i) h.record(r.next() % 10'000'000);
+    u64 prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.001) {
+        const u64 v = h.value_at_quantile(q);
+        ASSERT_GE(v, prev) << "q=" << q;
+        ASSERT_GE(v, h.min());
+        ASSERT_LE(v, h.max());
+        prev = v;
+    }
+    EXPECT_LE(h.p50(), h.p90());
+    EXPECT_LE(h.p90(), h.p99());
+    EXPECT_LE(h.p99(), h.p999());
+}
+
+TEST(log_histogram, sub_octave_one_values_quantize_exactly) {
+    // Everything below k_sub_buckets has its own bucket, so quantiles over
+    // such samples are exact, not approximations.
+    log_histogram h;
+    for (u64 v = 0; v < k_sub_buckets; ++v) h.record_n(v, 10);
+    EXPECT_EQ(h.p50(), 15u);
+    EXPECT_EQ(h.value_at_quantile(1.0), k_sub_buckets - 1);
+}
+
+TEST(log_histogram, merge_equals_concatenated_recording) {
+    rng r(31);
+    log_histogram combined;
+    log_histogram lhs;
+    log_histogram rhs;
+    for (int i = 0; i < 4'000; ++i) {
+        const u64 v = r.next() >> (r.next() % 50);
+        combined.record(v);
+        (i % 3 == 0 ? lhs : rhs).record(v);
+    }
+    lhs.merge(rhs);
+    EXPECT_EQ(lhs, combined);  // full structural equality, all buckets
+    // Merging an empty histogram is the identity.
+    log_histogram empty;
+    lhs.merge(empty);
+    EXPECT_EQ(lhs, combined);
+}
+
+TEST(atomic_log_histogram, concurrent_hammer_is_exact_and_matches_serial) {
+    constexpr int k_threads = 8;
+    constexpr int k_per_thread = 20'000;
+    atomic_log_histogram concurrent;
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < k_threads; ++t) {
+            threads.emplace_back([&concurrent, t] {
+                rng r(100 + t);
+                for (int i = 0; i < k_per_thread; ++i) {
+                    concurrent.record(r.next() % 1'000'000);
+                }
+            });
+        }
+        for (std::thread& t : threads) t.join();
+    }
+    // The same multiset recorded serially must produce the identical
+    // histogram: counts are exact under contention, nothing is lost.
+    log_histogram serial;
+    for (int t = 0; t < k_threads; ++t) {
+        rng r(100 + t);
+        for (int i = 0; i < k_per_thread; ++i) serial.record(r.next() % 1'000'000);
+    }
+    const log_histogram snap = concurrent.snapshot();
+    EXPECT_EQ(snap.count(), static_cast<u64>(k_threads) * k_per_thread);
+    EXPECT_EQ(snap, serial);
+}
+
+TEST(atomic_log_histogram, reset_empties_the_recorder) {
+    atomic_log_histogram h;
+    h.record(42);
+    h.record(7);
+    h.reset();
+    const log_histogram snap = h.snapshot();
+    EXPECT_EQ(snap.count(), 0u);
+    EXPECT_EQ(snap.sum(), 0u);
+    EXPECT_EQ(snap, log_histogram{});
+}
+
+TEST(metrics_registry, handles_are_stable_and_snapshots_sort_by_name) {
+    metrics_registry reg;
+    counter& c1 = reg.get_counter("b.second");
+    counter& c2 = reg.get_counter("a.first");
+    EXPECT_EQ(&reg.get_counter("b.second"), &c1);  // register-on-first-use
+    c1.add(3);
+    c2.add();
+    reg.get_gauge("depth").set(9);
+    reg.get_histogram("lat_ns").record(1000);
+
+    const metrics_snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].name, "a.first");  // sorted
+    EXPECT_EQ(snap.counters[1].name, "b.second");
+    ASSERT_NE(snap.counter_value("b.second"), nullptr);
+    EXPECT_EQ(*snap.counter_value("b.second"), 3u);
+    ASSERT_NE(snap.gauge_value("depth"), nullptr);
+    EXPECT_EQ(*snap.gauge_value("depth"), 9u);
+    ASSERT_NE(snap.histogram("lat_ns"), nullptr);
+    EXPECT_EQ(snap.histogram("lat_ns")->count(), 1u);
+    EXPECT_EQ(snap.counter_value("missing"), nullptr);
+}
+
+TEST(metrics_snapshot, contribute_is_insert_or_overwrite_keeping_order) {
+    metrics_snapshot snap;
+    snap.set_counter("z", 1);
+    snap.set_counter("a", 2);
+    snap.set_counter("m", 3);
+    snap.set_counter("m", 4);  // overwrite, not duplicate
+    ASSERT_EQ(snap.counters.size(), 3u);
+    EXPECT_EQ(snap.counters[0].name, "a");
+    EXPECT_EQ(snap.counters[1].name, "m");
+    EXPECT_EQ(snap.counters[2].name, "z");
+    EXPECT_EQ(*snap.counter_value("m"), 4u);
+}
+
+TEST(stats_json, snapshot_round_trips_through_the_serve_parser) {
+    metrics_snapshot snap;
+    snap.set_counter("service.requests", 12);
+    snap.set_gauge("pool.threads", 4);
+    log_histogram h;
+    for (u64 v : {5u, 70u, 70u, 3'000u, 1'000'000u}) h.record(v);
+    snap.add_histogram("service.parse_ns", h);
+
+    const std::string json = stats_json(snap);
+    std::string error;
+    const auto doc = serve::json_parse(json, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_EQ(doc->get("schema")->as_string(), "meek.stats.v1");
+    EXPECT_EQ(doc->get("counters")->get("service.requests")->as_u64(), 12u);
+    EXPECT_EQ(doc->get("gauges")->get("pool.threads")->as_u64(), 4u);
+
+    const serve::json_value* hist = doc->get("histograms")->get("service.parse_ns");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->get("count")->as_u64(), h.count());
+    EXPECT_EQ(hist->get("sum")->as_u64(), h.sum());
+    EXPECT_EQ(hist->get("min")->as_u64(), h.min());
+    EXPECT_EQ(hist->get("max")->as_u64(), h.max());
+    EXPECT_EQ(hist->get("p50")->as_u64(), h.p50());
+    EXPECT_EQ(hist->get("p999")->as_u64(), h.p999());
+    // The bucket rows carry every sample exactly once, with faithful edges.
+    u64 bucket_total = 0;
+    for (const serve::json_value& b : hist->get("buckets")->items()) {
+        const u64 lo = b.get("lo")->as_u64();
+        EXPECT_EQ(lo, bucket_lo(bucket_index(lo)));
+        EXPECT_EQ(b.get("hi")->as_u64(), bucket_hi(bucket_index(lo)));
+        const u64 n = b.get("count")->as_u64();
+        EXPECT_GT(n, 0u);  // only non-empty buckets are exported
+        bucket_total += n;
+    }
+    EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(loadgen, schedule_is_a_pure_function_of_its_config) {
+    const arrival_schedule_config cfg{
+        .qps = 50'000, .requests = 500, .seed = 9, .mix_size = 24, .jitter = true};
+    const std::vector<arrival> a = build_arrival_schedule(cfg);
+    const std::vector<arrival> b = build_arrival_schedule(cfg);
+    EXPECT_EQ(a, b);  // byte-identical, run to run
+    ASSERT_EQ(a.size(), 500u);
+
+    const u64 interval_ns = 1'000'000'000 / cfg.qps;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_LT(a[i].mix_index, cfg.mix_size);
+        // Jitter stays inside the slot, so arrivals are sorted by construction
+        // and the long-run rate is exactly qps.
+        ASSERT_GE(a[i].arrival_ns, i * interval_ns);
+        ASSERT_LT(a[i].arrival_ns, (i + 1) * interval_ns);
+        if (i > 0) ASSERT_GE(a[i].arrival_ns, a[i - 1].arrival_ns);
+    }
+
+    // A different seed moves the jitter and the template draws.
+    arrival_schedule_config other = cfg;
+    other.seed = 10;
+    EXPECT_NE(build_arrival_schedule(other), a);
+}
+
+TEST(loadgen, open_loop_simulation_is_deterministic_and_shows_queueing) {
+    const std::vector<u64> service_ns = {30'000, 60'000};  // mean 45us
+    const arrival_schedule_config underload{
+        .qps = 2'000, .requests = 300, .seed = 4, .mix_size = 2, .jitter = true};
+    arrival_schedule_config overload = underload;
+    overload.qps = 100'000;  // 10us interval << 45us service: queue must build
+
+    const std::vector<arrival> slow = build_arrival_schedule(underload);
+    const std::vector<arrival> fast = build_arrival_schedule(overload);
+
+    const open_loop_result r1 = simulate_open_loop(slow, service_ns, 1);
+    const open_loop_result r2 = simulate_open_loop(slow, service_ns, 1);
+    EXPECT_EQ(r1.latency_ns, r2.latency_ns);  // deterministic, bit for bit
+    EXPECT_EQ(r1.completed, underload.requests);
+
+    // Underloaded single server: every request starts immediately, so latency
+    // never exceeds the largest service time.
+    EXPECT_LE(r1.latency_ns.max(), 60'000u);
+
+    // Overload at the same service times: the tail is queueing delay, far
+    // beyond any single service time, and more servers strictly help.
+    const open_loop_result over1 = simulate_open_loop(fast, service_ns, 1);
+    EXPECT_GT(over1.latency_ns.p99(), 10 * 60'000u);
+    const open_loop_result over4 = simulate_open_loop(fast, service_ns, 4);
+    EXPECT_LT(over4.latency_ns.p99(), over1.latency_ns.p99());
+    EXPECT_GE(over1.makespan_ns, fast.back().arrival_ns);
+}
+
+}  // namespace
+}  // namespace meek::obs

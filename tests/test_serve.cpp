@@ -988,5 +988,108 @@ TEST(serve_service, stream_mode_frames_batches_on_blank_lines) {
     EXPECT_EQ(n, 2);
 }
 
+TEST(serve_protocol, stats_requests_parse_strictly) {
+    std::string id;
+    EXPECT_TRUE(serve::parse_stats_request(R"({"stats":true})", &id));
+    EXPECT_EQ(id, "");
+    EXPECT_TRUE(serve::parse_stats_request(R"({"stats":true,"id":"probe"})", &id));
+    EXPECT_EQ(id, "probe");
+    EXPECT_TRUE(serve::parse_stats_request(R"({"id":"x","stats":true})"));
+
+    // Anything else must fall through to the strict request parser: "stats"
+    // not literally true, extra fields, non-objects, malformed JSON.
+    EXPECT_FALSE(serve::parse_stats_request(R"({"stats":false})"));
+    EXPECT_FALSE(serve::parse_stats_request(R"({"stats":1})"));
+    EXPECT_FALSE(serve::parse_stats_request(R"({"stats":"true"})"));
+    EXPECT_FALSE(serve::parse_stats_request(R"({"stats":true,"scenario":"meek"})"));
+    EXPECT_FALSE(serve::parse_stats_request(R"({"stats":true,"id":7})"));
+    EXPECT_FALSE(serve::parse_stats_request(R"([true])"));
+    EXPECT_FALSE(serve::parse_stats_request(R"({"stats":true)"));
+    EXPECT_FALSE(serve::parse_stats_request(""));
+}
+
+TEST(serve_protocol, raw_rows_pass_through_to_json_verbatim) {
+    serve::response_row row;
+    row.request_index = 3;
+    row.raw = R"({"request":3,"repeat":0,"stats":{"schema":"meek.stats.v1"}})";
+    EXPECT_EQ(serve::to_json(row), row.raw);
+
+    // And parse_response keeps a stats row whole instead of dissecting it.
+    const auto parsed = serve::parse_response(row.raw);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->request_index, 3u);
+    EXPECT_EQ(parsed->raw, row.raw);
+    EXPECT_TRUE(parsed->error.empty());
+}
+
+TEST(serve_service, stats_request_returns_one_observability_row_in_slot) {
+    serve::service svc({.threads = 2});
+    serve::batch_stats stats;
+    const std::vector<std::string> lines = {
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":1})",
+        R"({"stats":true,"id":"probe"})",
+        R"({"scenario":"vanilla","workload":"mcf","instructions":6000,"seed":1})",
+    };
+    const std::vector<serve::response_row> rows = svc.evaluate(lines, &stats);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(stats.requests, 3u);
+    EXPECT_EQ(stats.jobs, 2u);  // the stats line dispatches no simulation
+    EXPECT_EQ(stats.errors, 0u);
+
+    const serve::response_row& sr = rows[1];
+    EXPECT_EQ(sr.request_index, 1u);
+    ASSERT_FALSE(sr.raw.empty());
+
+    // The raw row is one parseable JSON object, in its slot, with the echoed
+    // id and a meek.stats.v1 document under "stats".
+    std::string error;
+    const auto doc = serve::json_parse(sr.raw, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->get("request")->as_u64(), 1u);
+    EXPECT_EQ(doc->get("repeat")->as_u64(), 0u);
+    EXPECT_EQ(doc->get("id")->as_string(), "probe");
+    const serve::json_value* stats_doc = doc->get("stats");
+    ASSERT_NE(stats_doc, nullptr);
+    EXPECT_EQ(stats_doc->get("schema")->as_string(), "meek.stats.v1");
+
+    // The snapshot's deterministic counters reflect this very batch, and the
+    // service-stage + pool queue-wait histograms carry samples.
+    const serve::json_value* counters = stats_doc->get("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->get("service.requests")->as_u64(), 3u);
+    EXPECT_EQ(counters->get("service.jobs")->as_u64(), 2u);
+    EXPECT_EQ(counters->get("service.errors")->as_u64(), 0u);
+    const serve::json_value* hists = stats_doc->get("histograms");
+    ASSERT_NE(hists, nullptr);
+    EXPECT_GE(hists->get("service.parse_ns")->get("count")->as_u64(), 3u);
+    EXPECT_GE(hists->get("pool.queue_wait_ns")->get("count")->as_u64(), 2u);
+
+    // The neighbours are ordinary outcome rows, untouched by the probe.
+    EXPECT_TRUE(rows[0].error.empty());
+    EXPECT_TRUE(rows[2].error.empty());
+    EXPECT_EQ(rows[0].outcome.workload, "hmmer");
+    EXPECT_EQ(rows[2].outcome.workload, "mcf");
+}
+
+TEST(serve_service, stats_snapshot_carries_cache_and_pool_metrics) {
+    serve::service svc({.threads = 1});
+    const std::vector<std::string> lines = {
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":1})",
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":1})",
+    };
+    svc.evaluate(lines);
+    const obs::metrics_snapshot snap = svc.stats_snapshot();
+    ASSERT_NE(snap.counter_value("workload_cache.misses"), nullptr);
+    EXPECT_EQ(*snap.counter_value("workload_cache.misses"), 1u);
+    ASSERT_NE(snap.counter_value("outcome_cache.hits"), nullptr);
+    EXPECT_EQ(*snap.counter_value("outcome_cache.hits"), 1u);  // duplicate spec
+    ASSERT_NE(snap.counter_value("pool.executed"), nullptr);
+    EXPECT_EQ(*snap.counter_value("pool.executed"), 2u);
+    ASSERT_NE(snap.gauge_value("pool.threads"), nullptr);
+    EXPECT_EQ(*snap.gauge_value("pool.threads"), 1u);
+    ASSERT_NE(snap.histogram("pool.run_ns"), nullptr);
+    EXPECT_EQ(snap.histogram("pool.run_ns")->count(), 2u);
+}
+
 }  // namespace
 }  // namespace meek

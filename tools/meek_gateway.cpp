@@ -28,6 +28,10 @@
 //   --outcome-capacity N   per-worker outcome cache entries (children only)
 //   --requests FILE        one-shot: serve the file's batches, then exit
 //   --framed               terminate each output batch with a blank line
+//   --stats-json PATH      after serving, write the gateway's observability
+//                          snapshot (meek.stats.v1: totals, per-worker
+//                          error-row/respawn counts, worker round-trip
+//                          latency histogram) as one JSON line
 //   --quiet                suppress the stderr session summary
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats_json.h"
 #include "serve/gateway.h"
 
 using namespace meek;
@@ -48,7 +53,8 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--workers N] [--worker-cmd PATH] [--endpoint ADDR]... \n"
                  "          [--threads N] [--cache-capacity N] [--outcome-capacity N]\n"
-                 "          [--requests FILE] [--framed] [--quiet]\n",
+                 "          [--requests FILE] [--framed] [--stats-json PATH] "
+                 "[--quiet]\n",
                  argv0);
     return 2;
 }
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
     std::string worker_cmd = sibling_meek_serve(argv[0]);
     std::vector<std::string> worker_extra_args;
     std::string requests_file;
+    std::string stats_json_path;
     bool framed = false;
     bool quiet = false;
 
@@ -100,6 +107,8 @@ int main(int argc, char** argv) {
             requests_file = next_value("--requests");
         } else if (arg == "--framed") {
             framed = true;
+        } else if (arg == "--stats-json") {
+            stats_json_path = next_value("--stats-json");
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -133,6 +142,18 @@ int main(int argc, char** argv) {
         stats = gw.serve_stream(in, std::cout, framed);
     } else {
         stats = gw.serve_stream(std::cin, std::cout, framed);
+    }
+
+    if (!stats_json_path.empty()) {
+        obs::metrics_snapshot snap;
+        gw.contribute_metrics(snap, stats);
+        std::ofstream out(stats_json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open --stats-json file '%s'\n",
+                         stats_json_path.c_str());
+            return 1;
+        }
+        out << obs::stats_json(snap) << '\n';
     }
 
     if (!quiet) {

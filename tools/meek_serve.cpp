@@ -23,6 +23,9 @@
 //                          consume the budget
 //   --accept-threads N     --listen: serve up to N client connections
 //                          concurrently (default 4)
+//   --stats-json PATH      after serving, write the session's observability
+//                          snapshot (meek.stats.v1: counters, gauges, and
+//                          per-stage latency histograms) as one JSON line
 //   --quiet                suppress the stderr session summary
 //
 // stdout carries only response rows — byte-identical for a given input at
@@ -35,6 +38,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/stats_json.h"
 #include "serve/service.h"
 #include "serve/transport.h"
 
@@ -46,7 +50,8 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--requests FILE | --listen ADDR] [--threads N] "
                  "[--cache-capacity N] [--outcome-capacity N] [--framed] "
-                 "[--max-connections N] [--accept-threads N] [--quiet]\n",
+                 "[--max-connections N] [--accept-threads N] "
+                 "[--stats-json PATH] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -56,6 +61,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
     std::string requests_file;
     std::string listen_spec;
+    std::string stats_json_path;
     serve::service_options opts;
     u64 max_connections = 0;
     u32 accept_threads = 4;
@@ -96,6 +102,8 @@ int main(int argc, char** argv) {
                 std::strtoul(next_value("--outcome-capacity"), nullptr, 10);
         } else if (arg.rfind("--outcome-capacity=", 0) == 0) {
             opts.outcome_capacity = std::strtoul(arg.c_str() + 19, nullptr, 10);
+        } else if (arg == "--stats-json") {
+            stats_json_path = next_value("--stats-json");
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -110,6 +118,8 @@ int main(int argc, char** argv) {
 
     serve::service svc(opts);
     serve::batch_stats stats;
+    serve::serve_connections_stats conn_stats;
+    bool listened = false;
 
     if (!listen_spec.empty()) {
         std::string error;
@@ -133,6 +143,8 @@ int main(int argc, char** argv) {
         stats.rows = cs.rows;
         stats.errors = cs.errors;
         stats.jobs = cs.jobs;
+        conn_stats = cs;
+        listened = true;
         if (!quiet) {
             std::fprintf(stderr, "# connections=%llu\n",
                          static_cast<unsigned long long>(cs.connections));
@@ -147,6 +159,24 @@ int main(int argc, char** argv) {
         stats = svc.serve_stream(in, std::cout, framed);
     } else {
         stats = svc.serve_stream(std::cin, std::cout, framed);
+    }
+
+    if (!stats_json_path.empty()) {
+        obs::metrics_snapshot snap = svc.stats_snapshot();
+        if (listened) {
+            snap.set_counter("connections.connections", conn_stats.connections);
+            snap.set_counter("connections.requests", conn_stats.requests);
+            snap.set_counter("connections.rows", conn_stats.rows);
+            snap.set_counter("connections.errors", conn_stats.errors);
+            snap.set_counter("connections.jobs", conn_stats.jobs);
+        }
+        std::ofstream out(stats_json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open --stats-json file '%s'\n",
+                         stats_json_path.c_str());
+            return 1;
+        }
+        out << obs::stats_json(snap) << '\n';
     }
 
     if (!quiet) {

@@ -13,18 +13,142 @@
 //   --instructions N   dynamic length per evaluation (default 20000)
 //   --threads N        worker threads (default: MEEK_THREADS / hardware)
 //   --no-cache         disable the workload cache (capacity 0) for A/B runs
-//   --seed N           workload seed the batch shares (default 7)
+//   --seed N           workload seed the batch shares (default 7); also
+//                      drives the load-gen arrival schedule
+//
+// Load-generator mode (open-loop QPS sweep over the same request mix):
+//   --load-gen         run the sweep instead of the single-batch bench
+//   --qps A,B,...      arrival rates to sweep (default 1000)
+//   --load-requests N  arrivals per QPS point (default 200)
+//   --wall             dispatch arrivals in wall-clock time against the live
+//                      service (default: virtual-time queue simulation over
+//                      the deterministic per-template service times, whose
+//                      output is byte-identical run to run — the CI-pinnable
+//                      mode)
+//   --stats-json PATH  write the sweep's observability snapshot (per-QPS
+//                      latency histograms + the service's own stats) as one
+//                      meek.stats.v1 JSON line
+//
+// Each QPS point prints one line:
+//   serve_bench_lat: mode=<virtual|wall> qps=.. requests=.. servers=..
+//                    completed=.. p50_ns=.. p90_ns=.. p99_ns=.. p999_ns=..
+//                    mean_ns=.. max_ns=..
+// In virtual mode every field is an exact u64, so the whole line is stable
+// across runs at a fixed (seed, qps, requests, threads).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/loadgen.h"
+#include "obs/stats_json.h"
 #include "serve/service.h"
 
 using namespace meek;
+
+namespace {
+
+int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
+                 const std::vector<u64>& qps_points, u64 load_requests, u64 seed,
+                 bool wall, const std::string& stats_json_path) {
+    // Resolve every template once through the real wire path: the outcome's
+    // cycle count (1 cycle == 1 ns) is the deterministic service time the
+    // virtual-time queue runs on.
+    std::vector<u64> service_ns(mix_lines.size(), 0);
+    for (const serve::response_row& row : svc.evaluate(mix_lines)) {
+        if (!row.error.empty()) {
+            std::fprintf(stderr, "load-gen template %llu failed: %s\n",
+                         static_cast<unsigned long long>(row.request_index),
+                         row.error.c_str());
+            return 1;
+        }
+        service_ns[row.request_index] = static_cast<u64>(row.outcome.cycles);
+    }
+
+    const u32 servers = svc.pool().num_threads();
+    obs::metrics_snapshot loadgen_snap;
+
+    for (const u64 qps : qps_points) {
+        const obs::arrival_schedule_config cfg{.qps = qps,
+                                               .requests = load_requests,
+                                               .seed = seed,
+                                               .mix_size = mix_lines.size(),
+                                               .jitter = true};
+        const std::vector<obs::arrival> arrivals = obs::build_arrival_schedule(cfg);
+
+        obs::log_histogram lat;
+        u64 completed = 0;
+        if (!wall) {
+            obs::open_loop_result res =
+                obs::simulate_open_loop(arrivals, service_ns, servers);
+            lat = std::move(res.latency_ns);
+            completed = res.completed;
+        } else {
+            // Open loop against the live service: each arrival fires at its
+            // scheduled offset regardless of completions (no coordinated
+            // omission), one dispatch thread per request.
+            obs::atomic_log_histogram wall_lat;
+            const auto t0 = std::chrono::steady_clock::now();
+            std::vector<std::thread> threads;
+            threads.reserve(arrivals.size());
+            for (const obs::arrival& a : arrivals) {
+                threads.emplace_back([&svc, &mix_lines, &wall_lat, t0, a] {
+                    const auto due = t0 + std::chrono::nanoseconds(a.arrival_ns);
+                    std::this_thread::sleep_until(due);
+                    svc.evaluate({mix_lines[a.mix_index]});
+                    const auto d =
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - due);
+                    wall_lat.record(d.count() > 0 ? static_cast<u64>(d.count()) : 0);
+                });
+            }
+            for (std::thread& t : threads) t.join();
+            lat = wall_lat.snapshot();
+            completed = lat.count();
+        }
+
+        std::printf(
+            "serve_bench_lat: mode=%s qps=%llu requests=%llu servers=%u "
+            "completed=%llu p50_ns=%llu p90_ns=%llu p99_ns=%llu p999_ns=%llu "
+            "mean_ns=%llu max_ns=%llu\n",
+            wall ? "wall" : "virtual", static_cast<unsigned long long>(qps),
+            static_cast<unsigned long long>(load_requests), servers,
+            static_cast<unsigned long long>(completed),
+            static_cast<unsigned long long>(lat.p50()),
+            static_cast<unsigned long long>(lat.p90()),
+            static_cast<unsigned long long>(lat.p99()),
+            static_cast<unsigned long long>(lat.p999()),
+            static_cast<unsigned long long>(lat.count() ? lat.sum() / lat.count()
+                                                       : 0),
+            static_cast<unsigned long long>(lat.count() ? lat.max() : 0));
+        loadgen_snap.add_histogram("loadgen.q" + std::to_string(qps) + ".latency_ns",
+                                   lat);
+    }
+
+    if (!stats_json_path.empty()) {
+        obs::metrics_snapshot snap = svc.stats_snapshot();
+        for (const obs::histogram_entry& h : loadgen_snap.histograms) {
+            snap.add_histogram(h.name, h.hist);
+        }
+        snap.set_gauge("loadgen.servers", servers);
+        snap.set_counter("loadgen.requests_per_point", load_requests);
+        std::ofstream out(stats_json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open --stats-json file '%s'\n",
+                         stats_json_path.c_str());
+            return 1;
+        }
+        out << obs::stats_json(snap) << '\n';
+    }
+    return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     u64 num_requests = 100;
@@ -32,6 +156,11 @@ int main(int argc, char** argv) {
     u64 seed = 7;
     serve::service_options opts;
     bool use_cache = true;
+    bool load_gen = false;
+    bool wall = false;
+    u64 load_requests = 200;
+    std::vector<u64> qps_points;
+    std::string stats_json_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -41,6 +170,13 @@ int main(int argc, char** argv) {
                 std::exit(2);
             }
             return std::strtoull(argv[++i], nullptr, 10);
+        };
+        auto next_string = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
         };
         if (arg == "--requests") {
             num_requests = value("--requests");
@@ -54,10 +190,38 @@ int main(int argc, char** argv) {
             seed = value("--seed");
         } else if (arg == "--no-cache") {
             use_cache = false;
+        } else if (arg == "--load-gen") {
+            load_gen = true;
+        } else if (arg == "--wall") {
+            wall = true;
+        } else if (arg == "--load-requests") {
+            load_requests = value("--load-requests");
+        } else if (arg == "--qps") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--qps requires a value\n");
+                return 2;
+            }
+            const std::string list = argv[++i];
+            for (std::size_t pos = 0; pos < list.size();) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string item =
+                    list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+                const u64 q = std::strtoull(item.c_str(), nullptr, 10);
+                if (q == 0) {
+                    std::fprintf(stderr, "bad --qps value '%s'\n", item.c_str());
+                    return 2;
+                }
+                qps_points.push_back(q);
+                if (comma == std::string::npos) break;
+                pos = comma + 1;
+            }
+        } else if (arg == "--stats-json") {
+            stats_json_path = next_string("--stats-json");
         } else {
             std::fprintf(stderr,
                          "usage: %s [--requests N] [--instructions N] [--threads N] "
-                         "[--seed N] [--no-cache]\n",
+                         "[--seed N] [--no-cache] [--load-gen] [--qps A,B,...] "
+                         "[--load-requests N] [--wall] [--stats-json PATH]\n",
                          argv[0]);
             return 2;
         }
@@ -73,6 +237,26 @@ int main(int argc, char** argv) {
     };
     const std::vector<std::string> workloads = {"hmmer", "mcf", "blackscholes",
                                                 "swaptions"};
+
+    if (load_gen) {
+        // The sweep's request mix: every scenario × workload combination of
+        // the same batch the single-shot bench runs, one template each.
+        std::vector<std::string> mix_lines;
+        for (const std::string& sc : scenarios) {
+            for (const std::string& wl : workloads) {
+                serve::run_request req;
+                req.scenario = sc;
+                req.workload = wl;
+                req.instructions = instructions;
+                req.seed = seed;
+                mix_lines.push_back(serve::to_json(req));
+            }
+        }
+        if (qps_points.empty()) qps_points.push_back(1000);
+        serve::service svc(opts);
+        return run_load_gen(svc, mix_lines, qps_points, load_requests, seed, wall,
+                            stats_json_path);
+    }
 
     std::ostringstream batch;
     for (u64 i = 0; i < num_requests; ++i) {
