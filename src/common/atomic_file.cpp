@@ -1,0 +1,44 @@
+#include "common/atomic_file.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace meek {
+
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       std::string* error) {
+    const std::filesystem::path target(path);
+    std::error_code ec;
+    if (target.has_parent_path()) {
+        std::filesystem::create_directories(target.parent_path(), ec);
+        if (ec) {
+            if (error) *error = "create directories: " + ec.message();
+            return false;
+        }
+    }
+
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        if (error) *error = "cannot open temp file '" + tmp + "'";
+        return false;
+    }
+    bool ok = contents.empty() ||
+              std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        if (error) *error = "write to '" + tmp + "' failed";
+        return false;
+    }
+    std::filesystem::rename(tmp, target, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        if (error) *error = "rename to '" + path + "': " + ec.message();
+        return false;
+    }
+    return true;
+}
+
+}  // namespace meek

@@ -1,0 +1,21 @@
+// Atomic whole-file writes: temp file + rename, so a crash mid-write or a
+// concurrent reader can never observe a truncated document. This is the one
+// helper behind every snapshot export in the tree — `--stats-json` and
+// `--trace-json` in the serve tools, and the fault-campaign shard
+// checkpoints — so the "never torn" guarantee is implemented once.
+//
+// The temp file is `<path>.tmp` in the target's directory (rename(2) is only
+// atomic within one filesystem); parent directories are created on demand. On
+// any failure the temp file is removed and `error` (when non-null) carries a
+// human-readable reason.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace meek {
+
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       std::string* error = nullptr);
+
+}  // namespace meek

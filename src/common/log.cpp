@@ -1,10 +1,18 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
 namespace meek {
 namespace {
+
+std::atomic<log_trace_id_fn> g_trace_id_hook{nullptr};
+
+u64 current_trace_id() {
+    const log_trace_id_fn hook = g_trace_id_hook.load(std::memory_order_acquire);
+    return hook != nullptr ? hook() : 0;
+}
 
 const char* level_tag(log_level level) {
     switch (level) {
@@ -30,13 +38,23 @@ log_level& global_log_level() {
     return level;
 }
 
+void set_log_trace_id_hook(log_trace_id_fn hook) {
+    g_trace_id_hook.store(hook, std::memory_order_release);
+}
+
 std::string format_log_line(log_level level, std::string_view msg,
-                            std::size_t truncated_bytes) {
+                            std::size_t truncated_bytes, u64 trace_id) {
     const char* tag = level_tag(level);
     if (tag == nullptr) return {};
     std::string line;
     line.reserve(msg.size() + 48);
     line += tag;
+    if (trace_id != 0) {
+        char prefix[32];
+        std::snprintf(prefix, sizeof prefix, "[trace=%016llx] ",
+                      static_cast<unsigned long long>(trace_id));
+        line += prefix;
+    }
     line += msg;
     if (truncated_bytes != 0) {
         line += " [truncated ";
@@ -48,7 +66,7 @@ std::string format_log_line(log_level level, std::string_view msg,
 }
 
 void log_message(log_level level, const std::string& msg) {
-    const std::string line = format_log_line(level, msg);
+    const std::string line = format_log_line(level, msg, 0, current_trace_id());
     if (!line.empty()) emit(line);
 }
 
@@ -63,7 +81,7 @@ void log_formatted(log_level level, const char* fmt, ...) {
         static_cast<std::size_t>(needed) > k_log_message_limit
             ? static_cast<std::size_t>(needed) - k_log_message_limit
             : 0;
-    const std::string line = format_log_line(level, buf, truncated);
+    const std::string line = format_log_line(level, buf, truncated, current_trace_id());
     if (!line.empty()) emit(line);
 }
 

@@ -15,6 +15,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/types.h"
+
 namespace meek {
 
 enum class log_level { none = 0, error = 1, warn = 2, info = 3, trace = 4 };
@@ -27,11 +29,20 @@ inline constexpr std::size_t k_log_message_limit = 511;
 // not program state (encapsulated here per I.30).
 log_level& global_log_level();
 
+// Trace correlation: obs tracing installs a hook returning the calling
+// thread's active trace id (0 when none). Lines emitted inside an active
+// span then carry a "[trace=<16 hex>] " prefix after the level tag, so
+// worker stderr can be joined to exported trace JSON. A function pointer —
+// not a direct call — keeps common/ free of a dependency on obs/.
+using log_trace_id_fn = u64 (*)();
+void set_log_trace_id_hook(log_trace_id_fn hook);
+
 // The exact line a log emission produces (including the trailing newline):
-// "[level] message" plus, when `truncated_bytes` is nonzero, the truncation
-// note. Exposed so tests can pin the format without capturing stderr.
+// "[level] message", with the trace prefix when `trace_id` is nonzero and
+// the truncation note when `truncated_bytes` is. Exposed so tests can pin
+// the format without capturing stderr.
 std::string format_log_line(log_level level, std::string_view msg,
-                            std::size_t truncated_bytes = 0);
+                            std::size_t truncated_bytes = 0, u64 trace_id = 0);
 
 // Emit one whole line with a single fwrite (non-interleaving).
 void log_message(log_level level, const std::string& msg);

@@ -4,8 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 
+#include "common/atomic_file.h"
 #include "common/bits.h"
 
 namespace meek {
@@ -120,6 +120,19 @@ std::string shard_checkpoint_path(const std::string& dir, std::size_t shard_inde
     return dir + "/shard_" + std::to_string(shard_index) + ".ckpt";
 }
 
+// Pour one finished shard's outcome into the campaign progress counters.
+// Counter adds are relaxed atomics, so concurrent shard jobs may interleave
+// freely; the totals are exact once the batch joins.
+void note_shard_metrics(const fault_campaign_config& cfg,
+                        const campaign_result& result, bool resumed) {
+    if (cfg.metrics == nullptr) return;
+    obs::metrics_registry& m = *cfg.metrics;
+    m.get_counter("campaign.faults_injected").add(result.detected + result.masked);
+    m.get_counter("campaign.records_emitted").add(result.faults.size());
+    m.get_counter("campaign.shards_completed").add(1);
+    if (resumed) m.get_counter("campaign.shards_resumed").add(1);
+}
+
 // Run one shard, satisfying it from a checkpoint when the directory holds a
 // valid one for this exact shard config and system context.
 campaign_result run_or_resume_shard(const soc_config& soc_cfg, const program& prog,
@@ -132,6 +145,7 @@ campaign_result run_or_resume_shard(const soc_config& soc_cfg, const program& pr
         if (std::optional<campaign_result> loaded = load_shard_checkpoint(
                 path, shard_cfg, shard_index, context, soc_cfg.big.freq_mhz)) {
             loaded->resumed_shards = 1;
+            note_shard_metrics(shard_cfg, *loaded, /*resumed=*/true);
             return *std::move(loaded);
         }
     }
@@ -139,6 +153,7 @@ campaign_result run_or_resume_shard(const soc_config& soc_cfg, const program& pr
     if (checkpointing) {
         save_shard_checkpoint(path, shard_cfg, shard_index, context, result);
     }
+    note_shard_metrics(shard_cfg, result, /*resumed=*/false);
     return result;
 }
 
@@ -171,7 +186,10 @@ u64 campaign_context_fingerprint(const soc_config& soc_cfg, const program& prog)
 campaign_result run_fault_campaign(const soc_config& soc_cfg, const program& prog,
                                    const fault_campaign_config& cfg) {
     if (cfg.checkpoint_dir.empty()) {
-        return run_campaign_once(soc_cfg, prog, cfg, run_limits{}, /*warmup=*/0);
+        campaign_result result =
+            run_campaign_once(soc_cfg, prog, cfg, run_limits{}, /*warmup=*/0);
+        note_shard_metrics(cfg, result, /*resumed=*/false);
+        return result;
     }
     // The serial campaign is one monolithic "shard" with its own file name:
     // it must never satisfy (or be satisfied by) an executor shard, whose
@@ -243,48 +261,37 @@ bool save_shard_checkpoint(const std::string& path,
                            const fault_campaign_config& shard_cfg,
                            std::size_t shard_index, u64 context_fingerprint,
                            const campaign_result& result) {
-    std::error_code ec;
-    const std::filesystem::path target(path);
-    if (target.has_parent_path()) {
-        std::filesystem::create_directories(target.parent_path(), ec);
-        if (ec) return false;
-    }
-
-    // Write to a shard-private temp file, then rename: a reader never sees a
-    // torn checkpoint, and a crash mid-write leaves only a stale .tmp behind.
-    const std::string tmp = path + ".tmp";
-    std::FILE* f = std::fopen(tmp.c_str(), "w");
-    if (f == nullptr) return false;
-
+    // Serialize the whole checkpoint into memory, then hand it to the shared
+    // atomic-write helper (temp + rename): a reader never sees a torn
+    // checkpoint, and a crash mid-write leaves only a stale .tmp behind.
     u64 p_bits;
     std::memcpy(&p_bits, &shard_cfg.inject_probability, sizeof p_bits);
-    bool ok =
-        std::fprintf(
-            f,
-            "meek-campaign-ckpt v1\n"
-            "shard %zu seed %" PRIu64 " faults %u gap %" PRIu64 " horizon %" PRIu64
-            " target %d inject_p %" PRIx64 " core_side %d warmup %" PRIu64
-            " context %" PRIx64 "\n"
-            "records %zu\n",
-            shard_index, shard_cfg.seed, shard_cfg.num_faults,
-            shard_cfg.gap_instructions, shard_cfg.detection_horizon,
-            static_cast<int>(shard_cfg.target), p_bits,
-            shard_cfg.core_side_fault ? 1 : 0, shard_cfg.shard_warmup_instructions,
-            context_fingerprint, result.faults.size()) > 0;
+    char buf[512];
+    int n = std::snprintf(
+        buf, sizeof buf,
+        "meek-campaign-ckpt v1\n"
+        "shard %zu seed %" PRIu64 " faults %u gap %" PRIu64 " horizon %" PRIu64
+        " target %d inject_p %" PRIx64 " core_side %d warmup %" PRIu64
+        " context %" PRIx64 "\n"
+        "records %zu\n",
+        shard_index, shard_cfg.seed, shard_cfg.num_faults,
+        shard_cfg.gap_instructions, shard_cfg.detection_horizon,
+        static_cast<int>(shard_cfg.target), p_bits,
+        shard_cfg.core_side_fault ? 1 : 0, shard_cfg.shard_warmup_instructions,
+        context_fingerprint, result.faults.size());
+    if (n <= 0 || static_cast<std::size_t>(n) >= sizeof buf) return false;
+    std::string doc(buf, static_cast<std::size_t>(n));
     for (const fault_record& r : result.faults) {
-        ok = ok && std::fprintf(f, "%" PRIu64 " %" PRIu64 " %" PRIu64 " %d %d %d\n",
-                                r.inject_seq, static_cast<u64>(r.inject_big_cycle),
-                                static_cast<u64>(r.detect_big_cycle),
-                                r.detected ? 1 : 0, static_cast<int>(r.kind),
-                                static_cast<int>(r.corrupted_kind)) > 0;
+        n = std::snprintf(buf, sizeof buf,
+                          "%" PRIu64 " %" PRIu64 " %" PRIu64 " %d %d %d\n",
+                          r.inject_seq, static_cast<u64>(r.inject_big_cycle),
+                          static_cast<u64>(r.detect_big_cycle), r.detected ? 1 : 0,
+                          static_cast<int>(r.kind),
+                          static_cast<int>(r.corrupted_kind));
+        if (n <= 0 || static_cast<std::size_t>(n) >= sizeof buf) return false;
+        doc.append(buf, static_cast<std::size_t>(n));
     }
-    ok = std::fclose(f) == 0 && ok;
-    if (!ok) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    std::filesystem::rename(tmp, target, ec);
-    return !ec;
+    return write_file_atomic(path, doc);
 }
 
 std::optional<campaign_result> load_shard_checkpoint(

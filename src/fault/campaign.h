@@ -18,6 +18,7 @@
 #include "common/stats.h"
 #include "isa/program.h"
 #include "meek/soc.h"
+#include "obs/metrics.h"
 #include "sim/executor.h"
 
 namespace meek {
@@ -73,6 +74,15 @@ struct fault_campaign_config {
     // trusted. Merged results are bit-identical with and without
     // checkpointing.
     std::string checkpoint_dir;
+
+    // Optional progress observability: when non-null, every finished shard
+    // pours campaign.faults_injected / campaign.records_emitted /
+    // campaign.shards_completed / campaign.shards_resumed counters into this
+    // registry, so a long sharded campaign is watchable through the same
+    // stats JSON as everything else. Counters are relaxed atomics — safe
+    // from concurrent shard jobs. Purely diagnostic: never part of the
+    // checkpoint header or context fingerprint, never influences results.
+    obs::metrics_registry* metrics = nullptr;
 };
 
 struct fault_record {

@@ -37,9 +37,13 @@ std::vector<arrival> build_arrival_schedule(const arrival_schedule_config& cfg) 
 
 open_loop_result simulate_open_loop(const std::vector<arrival>& arrivals,
                                     std::span<const u64> service_ns_by_mix,
-                                    u32 servers) {
+                                    u32 servers, u32 window_count) {
     open_loop_result result;
     const u32 s = std::max<u32>(servers, 1);
+    // Window assignment divides the arrival span, not completion times, so a
+    // request's window is a pure function of the schedule.
+    const u64 span_ns = arrivals.empty() ? 1 : arrivals.back().arrival_ns + 1;
+    if (window_count > 0) result.window_latency.resize(window_count);
     // Earliest-free server next; ties break to the lowest index so the
     // simulation is a pure function of its inputs.
     using slot = std::pair<u64, u32>;  // (free at, server index)
@@ -56,6 +60,11 @@ open_loop_result simulate_open_loop(const std::vector<arrival>& arrivals,
         const u64 done_ns = start_ns + service_ns;
         free_at.emplace(done_ns, server);
         result.latency_ns.record(done_ns - a.arrival_ns);
+        if (window_count > 0) {
+            const u64 w = std::min<u64>(a.arrival_ns * window_count / span_ns,
+                                        window_count - 1);
+            result.window_latency[w].record(done_ns - a.arrival_ns);
+        }
         ++result.completed;
         result.makespan_ns = std::max(result.makespan_ns, done_ns);
     }

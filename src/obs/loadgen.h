@@ -49,12 +49,18 @@ struct open_loop_result {
     log_histogram latency_ns;  // completion - scheduled arrival, per request
     u64 completed = 0;
     u64 makespan_ns = 0;  // last completion, relative to the schedule start
+    // With window_count > 0: latency split into equal arrival-time windows
+    // (request's window = arrival_ns * count / (last arrival + 1) — a pure
+    // function of the schedule), the shape SLO evaluation consumes.
+    std::vector<log_histogram> window_latency;
 };
 
 // Deterministic S-server FIFO queue in virtual time. `service_ns_by_mix[m]`
 // is the service time of template m; every arrival's mix_index must index it.
+// `window_count` > 0 additionally buckets latencies into that many
+// arrival-time windows (see open_loop_result::window_latency).
 open_loop_result simulate_open_loop(const std::vector<arrival>& arrivals,
                                     std::span<const u64> service_ns_by_mix,
-                                    u32 servers);
+                                    u32 servers, u32 window_count = 0);
 
 }  // namespace meek::obs

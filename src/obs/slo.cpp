@@ -1,0 +1,311 @@
+#include "obs/slo.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "serve/json.h"
+
+namespace meek::obs {
+namespace {
+
+bool fail(std::string* error, std::string msg) {
+    if (error) *error = std::move(msg);
+    return false;
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+// "250us" → 250000 ns; "1.5ms" → 1500000. Unit defaults to ns.
+bool parse_latency_threshold(std::string_view text, u64* out_ns) {
+    const std::string buf(text);
+    char* end = nullptr;
+    const double value = std::strtod(buf.c_str(), &end);
+    if (end == buf.c_str() || value < 0 || !std::isfinite(value)) return false;
+    const std::string_view unit = trim(std::string_view(end));
+    double scale = 1.0;
+    if (unit.empty() || unit == "ns") {
+        scale = 1.0;
+    } else if (unit == "us") {
+        scale = 1e3;
+    } else if (unit == "ms") {
+        scale = 1e6;
+    } else if (unit == "s") {
+        scale = 1e9;
+    } else {
+        return false;
+    }
+    *out_ns = static_cast<u64>(value * scale + 0.5);
+    return true;
+}
+
+// "0.1%" → 0.001; "0.001" → 0.001.
+bool parse_ratio_threshold(std::string_view text, double* out) {
+    const std::string buf(text);
+    char* end = nullptr;
+    double value = std::strtod(buf.c_str(), &end);
+    if (end == buf.c_str() || value < 0 || !std::isfinite(value)) return false;
+    const std::string_view rest = trim(std::string_view(end));
+    if (rest == "%") {
+        value /= 100.0;
+    } else if (!rest.empty()) {
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+// "p99" → 0.99, "p999" → 0.999 (0.N for however many digits follow the p).
+bool parse_quantile_metric(std::string_view metric, double* out) {
+    if (metric.size() < 2 || metric[0] != 'p') return false;
+    double q = 0.0;
+    double scale = 0.1;
+    for (std::size_t i = 1; i < metric.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(metric[i]))) return false;
+        q += (metric[i] - '0') * scale;
+        scale *= 0.1;
+    }
+    if (q <= 0.0 || q > 1.0) return false;
+    *out = q;
+    return true;
+}
+
+std::string format_ns(u64 ns) { return std::to_string(ns) + "ns"; }
+
+}  // namespace
+
+bool parse_slo_spec(std::string_view text, slo_spec* out, std::string* error) {
+    out->text.clear();
+    out->clauses.clear();
+    std::string_view rest = text;
+    while (true) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view raw =
+            comma == std::string_view::npos ? rest : rest.substr(0, comma);
+        const std::string_view clause_text = trim(raw);
+        if (clause_text.empty()) {
+            return fail(error, "slo spec: empty clause in '" + std::string(text) + "'");
+        }
+        const std::size_t op = clause_text.find("<=");
+        if (op == std::string_view::npos) {
+            return fail(error, "slo clause '" + std::string(clause_text) +
+                                   "': expected metric<=threshold");
+        }
+        const std::string_view metric = trim(clause_text.substr(0, op));
+        const std::string_view threshold = trim(clause_text.substr(op + 2));
+        if (threshold.empty()) {
+            return fail(error,
+                        "slo clause '" + std::string(clause_text) + "': empty threshold");
+        }
+
+        slo_clause clause;
+        if (metric == "error_rate") {
+            clause.metric = slo_metric::error_rate;
+            if (!parse_ratio_threshold(threshold, &clause.threshold_ratio)) {
+                return fail(error, "slo clause '" + std::string(clause_text) +
+                                       "': bad ratio threshold");
+            }
+        } else {
+            if (metric == "mean") {
+                clause.metric = slo_metric::mean;
+            } else if (metric == "max") {
+                clause.metric = slo_metric::max;
+            } else if (parse_quantile_metric(metric, &clause.quantile)) {
+                clause.metric = slo_metric::quantile;
+            } else {
+                return fail(error, "slo clause '" + std::string(clause_text) +
+                                       "': unknown metric '" + std::string(metric) + "'");
+            }
+            if (!parse_latency_threshold(threshold, &clause.threshold_ns)) {
+                return fail(error, "slo clause '" + std::string(clause_text) +
+                                       "': bad latency threshold");
+            }
+        }
+        clause.text = std::string(metric) + "<=" + std::string(threshold);
+        if (!out->text.empty()) out->text += ",";
+        out->text += clause.text;
+        out->clauses.push_back(std::move(clause));
+
+        if (comma == std::string_view::npos) break;
+        rest = rest.substr(comma + 1);
+    }
+    if (out->clauses.empty()) return fail(error, "slo spec: no clauses");
+    return true;
+}
+
+slo_report evaluate_slo_windows(const slo_spec& spec,
+                                std::span<const log_histogram> windows,
+                                u64 errors, u64 total) {
+    slo_report report;
+    report.spec = spec;
+    report.windows = windows.size();
+    report.errors = errors;
+    report.total = total;
+    for (const log_histogram& w : windows) report.samples += w.count();
+
+    for (const slo_clause& clause : spec.clauses) {
+        slo_clause_result result;
+        result.clause = clause;
+        if (clause.metric == slo_metric::error_rate) {
+            result.observed_ratio =
+                total != 0 ? static_cast<double>(errors) / static_cast<double>(total)
+                           : 0.0;
+            result.burn_rate = clause.threshold_ratio > 0.0
+                                   ? result.observed_ratio / clause.threshold_ratio
+                                   : (result.observed_ratio > 0.0 ? HUGE_VAL : 0.0);
+            result.violated = result.observed_ratio > clause.threshold_ratio;
+        } else {
+            // Worst window wins: the clause must hold in every window.
+            for (std::size_t i = 0; i < windows.size(); ++i) {
+                const log_histogram& w = windows[i];
+                if (w.count() == 0) continue;
+                u64 observed = 0;
+                switch (clause.metric) {
+                    case slo_metric::quantile:
+                        observed = w.value_at_quantile(clause.quantile);
+                        break;
+                    case slo_metric::mean:
+                        observed = static_cast<u64>(w.mean() + 0.5);
+                        break;
+                    case slo_metric::max:
+                        observed = w.max();
+                        break;
+                    case slo_metric::error_rate:
+                        break;  // unreachable
+                }
+                if (observed >= result.observed_ns) {
+                    result.observed_ns = observed;
+                    result.worst_window = i;
+                }
+            }
+            result.burn_rate =
+                clause.threshold_ns != 0
+                    ? static_cast<double>(result.observed_ns) /
+                          static_cast<double>(clause.threshold_ns)
+                    : (result.observed_ns != 0 ? HUGE_VAL : 0.0);
+            result.violated = result.observed_ns > clause.threshold_ns;
+        }
+        report.violated = report.violated || result.violated;
+        if (result.burn_rate > report.max_burn_rate) {
+            report.max_burn_rate = result.burn_rate;
+        }
+        report.clauses.push_back(std::move(result));
+    }
+    return report;
+}
+
+slo_report evaluate_slo(const slo_spec& spec, const log_histogram& latency,
+                        u64 errors, u64 total) {
+    return evaluate_slo_windows(spec, std::span<const log_histogram>(&latency, 1),
+                                errors, total);
+}
+
+log_histogram histogram_window_diff(const log_histogram& current,
+                                    const log_histogram& previous) {
+    log_histogram out;
+    for (u32 i = 0; i < k_num_buckets; ++i) {
+        const u64 cur = current.bucket_count(i);
+        const u64 prev = previous.bucket_count(i);
+        if (cur > prev) out.record_n(bucket_lo(i), cur - prev);
+    }
+    return out;
+}
+
+void slo_window_monitor::observe(const log_histogram& cumulative) {
+    windows_.push_back(histogram_window_diff(cumulative, last_));
+    last_ = cumulative;
+    while (windows_.size() > max_windows_) windows_.pop_front();
+}
+
+std::string slo_json(const slo_report& report) {
+    std::string clauses = "[";
+    for (std::size_t i = 0; i < report.clauses.size(); ++i) {
+        const slo_clause_result& r = report.clauses[i];
+        serve::json_object_writer w;
+        w.field("clause", r.clause.text);
+        if (r.clause.metric == slo_metric::error_rate) {
+            w.field("metric", "error_rate");
+            w.field_fixed("threshold_ratio", r.clause.threshold_ratio, 6);
+            w.field_fixed("observed_ratio", r.observed_ratio, 6);
+        } else {
+            w.field("metric", r.clause.metric == slo_metric::mean
+                                  ? "mean"
+                                  : r.clause.metric == slo_metric::max ? "max"
+                                                                       : "quantile");
+            if (r.clause.metric == slo_metric::quantile) {
+                w.field_fixed("quantile", r.clause.quantile, 4);
+            }
+            w.field("threshold_ns", r.clause.threshold_ns);
+            w.field("observed_ns", r.observed_ns);
+            w.field("worst_window", r.worst_window);
+        }
+        w.field_fixed("burn_rate", std::isfinite(r.burn_rate) ? r.burn_rate : -1.0, 4);
+        w.field("violated", r.violated);
+        if (i != 0) clauses += ",";
+        clauses += w.str();
+    }
+    clauses += "]";
+
+    serve::json_object_writer w;
+    w.field("spec", report.spec.text);
+    w.field("violated", report.violated);
+    w.field_fixed("max_burn_rate",
+                  std::isfinite(report.max_burn_rate) ? report.max_burn_rate : -1.0, 4);
+    w.field("samples", report.samples);
+    w.field("windows", report.windows);
+    w.field("errors", report.errors);
+    w.field("total", report.total);
+    w.field_raw("clauses", clauses);
+    return w.str();
+}
+
+std::string format_slo_report(const slo_report& report, std::string_view line_prefix) {
+    std::string out;
+    char burn[32];
+    for (const slo_clause_result& r : report.clauses) {
+        std::snprintf(burn, sizeof burn, "%.4f",
+                      std::isfinite(r.burn_rate) ? r.burn_rate : -1.0);
+        out += line_prefix;
+        out += r.clause.text;
+        out += " observed=";
+        if (r.clause.metric == slo_metric::error_rate) {
+            char ratio[32];
+            std::snprintf(ratio, sizeof ratio, "%.6f", r.observed_ratio);
+            out += ratio;
+        } else {
+            out += format_ns(r.observed_ns);
+            if (report.windows > 1) {
+                out += " window=";
+                out += std::to_string(r.worst_window);
+            }
+        }
+        out += " burn_rate=";
+        out += burn;
+        out += r.violated ? " VIOLATED" : " ok";
+        out += "\n";
+    }
+    std::snprintf(burn, sizeof burn, "%.4f",
+                  std::isfinite(report.max_burn_rate) ? report.max_burn_rate : -1.0);
+    out += line_prefix;
+    out += "verdict=";
+    out += report.violated ? "VIOLATED" : "ok";
+    out += " max_burn_rate=";
+    out += burn;
+    out += " samples=";
+    out += std::to_string(report.samples);
+    out += " windows=";
+    out += std::to_string(report.windows);
+    out += "\n";
+    return out;
+}
+
+}  // namespace meek::obs

@@ -1,0 +1,135 @@
+// Declarative latency/error SLOs evaluated against `obs::log_histogram`
+// snapshots, with burn-rate reporting.
+//
+// Spec grammar (comma-separated clauses, whitespace ignored):
+//
+//     spec    := clause ("," clause)*
+//     clause  := metric "<=" threshold
+//     metric  := "p" digits | "mean" | "max" | "error_rate"
+//     threshold := number [unit]          e.g.  250us   1.5ms   0.1%
+//
+// "pN" reads as the 0.N quantile for however many digits are given: p50 →
+// 0.50, p99 → 0.99, p999 → 0.999. Latency thresholds take units ns (default),
+// us, ms, s; `error_rate` takes a plain ratio or a % suffix. Example:
+//
+//     p99<=250us,p999<=1ms,error_rate<=0.1%
+//
+// Evaluation: latency clauses are checked per sliding window (a clause is
+// violated when ANY window breaches it — a cumulative histogram would let a
+// good first hour mask a bad last minute); `error_rate` is checked against
+// the overall error/total counts, which windowed histograms do not carry.
+// Every clause reports a burn rate, observed/threshold: >1 means the budget
+// is burning faster than allowed, 0.5 means half the budget is in use.
+//
+// Windows come from either source:
+//   * the load generator's arrival-time windows (exact per-sample), or
+//   * `slo_window_monitor`, which diffs successive cumulative snapshots of a
+//     live histogram via `histogram_window_diff` — bucketwise count deltas
+//     re-recorded at bucket lower edges, so window quantiles are exact to
+//     bucket resolution while sums/means are bucket-quantized approximations.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/histogram.h"
+
+namespace meek::obs {
+
+enum class slo_metric : u8 { quantile, mean, max, error_rate };
+
+struct slo_clause {
+    std::string text;        // normalized clause, e.g. "p99<=250us"
+    slo_metric metric = slo_metric::quantile;
+    double quantile = 0.0;   // when metric == quantile
+    u64 threshold_ns = 0;    // latency clauses
+    double threshold_ratio = 0.0;  // error_rate clause
+};
+
+struct slo_spec {
+    std::string text;  // normalized full spec (clauses joined with ",")
+    std::vector<slo_clause> clauses;
+};
+
+// Parse `text` into a spec. Returns false and sets `error` (when non-null)
+// on grammar violations: unknown metric, missing "<=", bad number/unit,
+// empty spec.
+bool parse_slo_spec(std::string_view text, slo_spec* out,
+                    std::string* error = nullptr);
+
+struct slo_clause_result {
+    slo_clause clause;
+    // Latency clauses: worst observed value (ns) and the window it came
+    // from. error_rate: observed ratio in `observed_ratio`, observed_ns 0.
+    u64 observed_ns = 0;
+    double observed_ratio = 0.0;
+    u64 worst_window = 0;
+    double burn_rate = 0.0;  // observed / threshold
+    bool violated = false;
+};
+
+struct slo_report {
+    slo_spec spec;
+    std::vector<slo_clause_result> clauses;
+    u64 samples = 0;  // latency samples across all windows
+    u64 windows = 0;
+    u64 errors = 0;
+    u64 total = 0;
+    double max_burn_rate = 0.0;
+    bool violated = false;
+};
+
+// Evaluate against per-window latency histograms plus overall error/total
+// counts. Empty windows are skipped; with no samples anywhere, latency
+// clauses hold vacuously.
+slo_report evaluate_slo_windows(const slo_spec& spec,
+                                std::span<const log_histogram> windows,
+                                u64 errors = 0, u64 total = 0);
+
+// Single-window convenience: the whole histogram is one window.
+slo_report evaluate_slo(const slo_spec& spec, const log_histogram& latency,
+                        u64 errors = 0, u64 total = 0);
+
+// The samples recorded into `current` since `previous` (both cumulative
+// snapshots of one histogram): bucketwise count deltas re-recorded at bucket
+// lower edges. Quantiles of the result are exact to bucket resolution;
+// sum/mean are bucket-quantized.
+log_histogram histogram_window_diff(const log_histogram& current,
+                                    const log_histogram& previous);
+
+// Turns periodic cumulative snapshots of a live histogram into a bounded
+// deque of per-interval windows for evaluate_slo_windows. Single-threaded.
+class slo_window_monitor {
+public:
+    explicit slo_window_monitor(std::size_t max_windows = 8)
+        : max_windows_(max_windows == 0 ? 1 : max_windows) {}
+
+    // Record the window [last observe, now) from a cumulative snapshot.
+    // Empty deltas are kept too: a silent window is still a window.
+    void observe(const log_histogram& cumulative);
+
+    std::vector<log_histogram> windows() const {
+        return {windows_.begin(), windows_.end()};
+    }
+
+private:
+    std::size_t max_windows_;
+    log_histogram last_;
+    std::deque<log_histogram> windows_;
+};
+
+// One-line JSON fragment for the "slo" section of meek.stats.v1: spec text,
+// violated flag, max burn rate, per-clause observations. Deterministic for
+// deterministic inputs (fixed-point burn rates).
+std::string slo_json(const slo_report& report);
+
+// Human-readable multi-line report (one line per clause plus a verdict),
+// each line prefixed with `line_prefix` — tools pass "# slo: ".
+std::string format_slo_report(const slo_report& report,
+                              std::string_view line_prefix = "");
+
+}  // namespace meek::obs

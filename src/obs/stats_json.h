@@ -16,18 +16,24 @@
 // through serve::json (which keeps integers exact), and an export of
 // deterministic values is byte-deterministic: categories and members are
 // sorted by name, bucket rows by bucket index.
+// An optional "slo" section (see obs/slo.h) rides after "histograms" when a
+// tool was started with an --slo spec; absent otherwise, so existing
+// consumers are untouched.
 #pragma once
 
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/slo.h"
 
 namespace meek::obs {
 
 // One histogram as a JSON object fragment (the value under "histograms").
 std::string histogram_json(const log_histogram& h);
 
-// The whole snapshot as one single-line JSON document.
-std::string stats_json(const metrics_snapshot& snap);
+// The whole snapshot as one single-line JSON document. With a non-null
+// `slo`, the document gains an "slo" member holding slo_json(*slo).
+std::string stats_json(const metrics_snapshot& snap,
+                       const slo_report* slo = nullptr);
 
 }  // namespace meek::obs

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <istream>
 #include <optional>
 #include <ostream>
 #include <thread>
 
+#include "obs/trace.h"
 #include "sched/placement.h"
 #include "serve/protocol.h"
 #include "sim/job.h"
@@ -42,6 +44,32 @@ double line_cost(const parsed_request& parsed) {
     sim::run_spec spec;
     if (!resolve_request(parsed.request, /*repeat=*/0, &spec).empty()) return 0.0;
     return sim::cost_hint(spec) * static_cast<double>(parsed.request.repeats);
+}
+
+// Insert ',"trace":{...}' before the closing brace of a request line the
+// gateway verified parses, preserving every other byte — the worker adopts
+// the gateway's context and parents its "request" span under our root.
+std::string inject_trace_field(const std::string& line, const obs::trace_context& ctx) {
+    const std::size_t close = line.rfind('}');
+    if (close == std::string::npos) return line;
+    std::string out = line.substr(0, close);
+    out += ",\"trace\":{\"trace_id\":" + std::to_string(ctx.trace_id) +
+           ",\"span_id\":" + std::to_string(ctx.span_id) + "}";
+    out += line.substr(close);
+    return out;
+}
+
+void record_gateway_span(obs::tracer& tracer, u64 trace_id, u64 span_id,
+                         u64 parent_span_id, const char* name, u64 begin_ns,
+                         u64 end_ns) {
+    obs::span_record rec;
+    rec.trace_id = trace_id;
+    rec.span_id = span_id;
+    rec.parent_span_id = parent_span_id;
+    rec.begin_ns = begin_ns;
+    rec.end_ns = end_ns;
+    std::snprintf(rec.name, sizeof rec.name, "%s", name);
+    tracer.record(rec);
 }
 
 }  // namespace
@@ -203,6 +231,25 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
     };
     std::vector<request_state> requests(lines.size());
 
+    // Tracing, resolved once per batch: the gateway is the outermost entry
+    // point, so each line gets a root "gateway.request" span (trace adopted
+    // from an incoming "trace" field, minted otherwise) and — for lines that
+    // parse — the context is injected into the forwarded bytes so the
+    // worker's own "request" span parents under ours. Virtual-clock ticks
+    // run per line timeline, so exported timestamps are worker-count
+    // independent.
+    obs::tracer& tracer = obs::tracer::instance();
+    const bool tracing = tracer.enabled();
+    const u64 batch_seq = tracing ? batch_seq_++ : batch_seq_;
+    struct line_trace {
+        obs::trace_context root;  // {trace id, root "gateway.request" span}
+        u64 parent_span = 0;      // adopted caller span (0 when minted)
+        u64 root_begin = 0;
+        u64 worker_rt_begin = 0;
+    };
+    std::vector<line_trace> line_traces(tracing ? lines.size() : 0);
+    std::vector<bool> inject(lines.size(), false);
+
     // Pass 1: parse every line once — id/repeats for error-row synthesis,
     // cost for the sharding below. A blank line (possible through the
     // evaluate() API; the stream path filters them) must never reach a
@@ -219,6 +266,24 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
             rs.repeats = parsed.request.repeats;
         }
         costs[i] = line_cost(parsed);
+        if (tracing) {
+            line_trace& lt = line_traces[i];
+            u64 trace_id = 0;
+            if (parsed.ok() && parsed.request.trace) {
+                trace_id = parsed.request.trace->trace_id;
+                lt.parent_span = parsed.request.trace->span_id;
+            } else {
+                trace_id = obs::mint_trace_id(batch_seq, i);
+                // Only lines the gateway verified parse get the context
+                // injected: appending to a malformed or stats line would
+                // change what the worker answers.
+                inject[i] = parsed.ok();
+            }
+            lt.root.trace_id = trace_id;
+            lt.root.span_id =
+                obs::derive_span_id(trace_id, lt.parent_span, "gateway.request");
+            lt.root_begin = tracer.now_ns(trace_id);
+        }
         if (is_blank_line(lines[i])) {
             response_row err;
             err.request_index = i;
@@ -229,6 +294,19 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
             settled_locally[i] = true;
         }
     }
+
+    // The bytes forwarded to workers: verbatim, except for the injected
+    // trace context when tracing.
+    std::vector<std::string> traced_lines;
+    if (tracing) {
+        traced_lines.reserve(lines.size());
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            traced_lines.push_back(inject[i]
+                                       ? inject_trace_field(lines[i], line_traces[i].root)
+                                       : lines[i]);
+        }
+    }
+    const std::vector<std::string>& wire_lines = tracing ? traced_lines : lines;
 
     // Pass 2: cost-aware sharding over the *live* workers. The assignment is
     // a pure function of (costs, live set), so for a healthy pool it never
@@ -264,7 +342,8 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
     std::vector<std::thread> threads;
     for (std::size_t k = 0; k < num_workers; ++k) {
         if (owned[k].empty() || workers_[k]->failed) continue;
-        threads.emplace_back([this, k, &owned, &lines, &received] {
+        threads.emplace_back([this, k, &owned, &wire_lines, &received, tracing,
+                              &line_traces, &tracer] {
             worker& w = *workers_[k];
             std::iostream& io = *w.io();
             const auto rt_start = std::chrono::steady_clock::now();
@@ -273,8 +352,17 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
                     std::chrono::steady_clock::now() - rt_start);
                 worker_rt_ns_.record(d.count() > 0 ? static_cast<u64>(d.count()) : 0);
             };
+            if (tracing) {
+                // Per-line ticks on the line's own timeline: the values a
+                // worker-rt span reads never depend on which worker (or how
+                // many) ran the sub-batch.
+                for (const std::size_t g : owned[k]) {
+                    line_traces[g].worker_rt_begin =
+                        tracer.now_ns(line_traces[g].root.trace_id);
+                }
+            }
             for (const std::size_t g : owned[k]) {
-                io << lines[g] << '\n';
+                io << wire_lines[g] << '\n';
             }
             io << '\n';
             io.flush();
@@ -286,6 +374,19 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
             while (std::getline(io, line)) {
                 if (is_blank_line(line)) {  // end-of-batch marker
                     note_rt();
+                    if (tracing) {
+                        for (const std::size_t g : owned[k]) {
+                            const line_trace& lt = line_traces[g];
+                            record_gateway_span(
+                                tracer, lt.root.trace_id,
+                                obs::derive_span_id(lt.root.trace_id,
+                                                    lt.root.span_id,
+                                                    "gateway.worker_rt"),
+                                lt.root.span_id, "gateway.worker_rt",
+                                lt.worker_rt_begin,
+                                tracer.now_ns(lt.root.trace_id));
+                        }
+                    }
                     return;
                 }
                 received[k].emplace_back(strip_cr(line));
@@ -370,6 +471,15 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
                          [](const auto& a, const auto& b) { return a.first < b.first; });
         for (auto& [repeat, line] : rs.rows) {
             out.push_back(std::move(line));
+        }
+    }
+
+    // Close every line's root span now that its rows are merged.
+    if (tracing) {
+        for (const line_trace& lt : line_traces) {
+            record_gateway_span(tracer, lt.root.trace_id, lt.root.span_id,
+                                lt.parent_span, "gateway.request", lt.root_begin,
+                                tracer.now_ns(lt.root.trace_id));
         }
     }
 

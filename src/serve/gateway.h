@@ -115,6 +115,10 @@ private:
     // Worker sub-batch round-trip latency; recorded concurrently by the
     // per-worker fan-out threads, hence the atomic variant.
     obs::atomic_log_histogram worker_rt_ns_;
+    // Trace minting sequence (batch n, line i => mint_trace_id(n, i)); the
+    // gateway is the outermost entry point, so minted contexts are injected
+    // into forwarded request lines. Only advanced while tracing is enabled.
+    u64 batch_seq_ = 0;
 };
 
 }  // namespace meek::serve

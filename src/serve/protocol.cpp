@@ -49,6 +49,29 @@ bool field_is_uint(const json_value& v) {
     return v.is_unsigned_integer() && v.as_u64(0) != 0;
 }
 
+// The "trace" request field: exactly {"trace_id":N(,"span_id":N)}, trace_id
+// nonzero. As strict as the outer parser — a typo must not drop a context.
+std::string parse_trace_field(const json_value& v, obs::trace_context* out) {
+    if (!v.is_object()) return "field 'trace' must be an object";
+    for (const auto& [key, value] : v.members()) {
+        if (key == "trace_id") {
+            if (!field_is_uint(value)) {
+                return "field 'trace.trace_id' must be a positive integer";
+            }
+            out->trace_id = value.as_u64();
+        } else if (key == "span_id") {
+            if (!value.is_unsigned_integer()) {
+                return "field 'trace.span_id' must be a non-negative integer";
+            }
+            out->span_id = value.as_u64();
+        } else {
+            return "unknown field 'trace." + key + "'";
+        }
+    }
+    if (out->trace_id == 0) return "field 'trace' requires a nonzero trace_id";
+    return "";
+}
+
 }  // namespace
 
 parsed_request parse_request(std::string_view line) {
@@ -125,6 +148,11 @@ parsed_request parse_request(std::string_view line) {
                 return out;
             }
             req.repeats = value.as_u64();
+        } else if (key == "trace") {
+            obs::trace_context ctx;
+            out.error = parse_trace_field(value, &ctx);
+            if (!out.error.empty()) return out;
+            req.trace = ctx;
         } else {
             out.error = "unknown field '" + key + "'";
             return out;
@@ -176,6 +204,12 @@ std::string to_json(const run_request& req) {
     w.field("instructions", req.instructions);
     w.field("seed", req.seed);
     if (req.repeats != 1) w.field("repeats", req.repeats);
+    if (req.trace) {
+        json_object_writer t;
+        t.field("trace_id", req.trace->trace_id);
+        if (req.trace->span_id != 0) t.field("span_id", req.trace->span_id);
+        w.field_raw("trace", t.str());
+    }
     return w.str();
 }
 
@@ -238,6 +272,7 @@ std::string to_json(const response_row& row) {
     w.field("request", row.request_index);
     w.field("repeat", row.repeat);
     if (!row.id.empty()) w.field("id", row.id);
+    if (row.trace_id != 0) w.field("trace_id", row.trace_id);
     if (!row.error.empty()) {
         w.field("error", row.error);
         return w.str();
@@ -273,6 +308,7 @@ std::optional<response_row> parse_response(std::string_view line, std::string* e
     if ((v = doc->get("request"))) row.request_index = v->as_u64();
     if ((v = doc->get("repeat"))) row.repeat = v->as_u64();
     if ((v = doc->get("id"))) row.id = v->as_string();
+    if ((v = doc->get("trace_id"))) row.trace_id = v->as_u64();
     if (doc->get("stats") != nullptr) {
         // A stats row passes through whole: re-serializing it would need the
         // full stats schema, and the gateway only rewrites its index anyway.

@@ -18,6 +18,11 @@
 //                      uses `seed` itself (default 1, at most 1000000 — a
 //                      request is also an allocation bound downstream).
 //   * "id"           — opaque client tag echoed into every response row.
+//   * "trace"        — optional {"trace_id":N,"span_id":N} trace context
+//                      (both unsigned; trace_id nonzero). A service that
+//                      receives one continues the caller's trace instead of
+//                      minting its own; absent => old behavior, byte for
+//                      byte. The gateway injects this into forwarded lines.
 //
 // Unknown fields are an error: a typo must not silently evaluate defaults.
 //
@@ -37,6 +42,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/job.h"
 #include "sim/scenario.h"
 
@@ -70,6 +76,9 @@ struct run_request {
     u64 instructions = 200'000;
     u64 seed = 0xC0FFEE;
     u64 repeats = 1;
+    // Wire trace context ("trace" field): present => the service adopts the
+    // caller's trace for this line instead of minting one.
+    std::optional<obs::trace_context> trace;
 };
 
 // Parse one request line. Exactly one of (request, error) is meaningful:
@@ -106,6 +115,13 @@ struct response_row {
     std::string id;
     std::string error;  // nonempty => the outcome fields are absent
     u64 seed = 0;       // the workload seed this repeat actually used
+    // Optional trace correlation ("trace_id" field, emitted when nonzero).
+    // The service deliberately never sets it — response bytes stay identical
+    // with tracing on — but the field round-trips for clients that do.
+    u64 trace_id = 0;
+    // In-process only, never serialized: the line's trace so serve_batch can
+    // record serialization spans after evaluate() has closed the root.
+    obs::trace_context trace;
     sim::run_outcome outcome;
     // Pre-serialized row (stats rows): when nonempty, to_json() emits it
     // verbatim — it must start with the "request" field like every row, so

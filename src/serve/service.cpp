@@ -1,10 +1,12 @@
 #include "serve/service.h"
 
 #include <chrono>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 
 #include "obs/stats_json.h"
+#include "obs/trace.h"
 #include "serve/json.h"
 
 namespace meek::serve {
@@ -32,6 +34,28 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
         metrics_.get_histogram("service.resolve_ns");
     obs::atomic_log_histogram& execute_ns =
         metrics_.get_histogram("service.execute_ns");
+    obs::atomic_log_histogram& request_ns =
+        metrics_.get_histogram("service.request_ns");
+
+    // Tracing, resolved once per batch. Each line gets a trace: adopted from
+    // the wire's "trace" field when present, minted from (batch, line)
+    // otherwise — both pure functions of the input, so ids are identical at
+    // any thread count. Under the virtual clock, session-thread spans tick
+    // on the line's own timeline (= trace id) and executor job spans on the
+    // job's span id, so timestamps are schedule-independent too.
+    obs::tracer& tracer = obs::tracer::instance();
+    const bool tracing = tracer.enabled();
+    const bool wall_clock = tracer.clock_mode() == obs::trace_clock_mode::wall;
+    const u64 batch_seq = tracing ? batch_seq_++ : batch_seq_;
+
+    struct line_trace {
+        obs::trace_context root;  // {trace id, root "request" span id}
+        u64 parent_span = 0;      // adopted caller span (0 when minted)
+        u64 root_begin = 0;
+    };
+    std::vector<line_trace> line_traces(tracing ? lines.size() : 0);
+    std::vector<clock::time_point> line_started(lines.size());
+    std::vector<obs::trace_context> job_traces;  // parallel to `specs`
 
     // Phase 1: parse and resolve every line on the session thread; collect
     // the dispatchable specs in (request, repeat) order.
@@ -46,23 +70,64 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
 
     for (std::size_t i = 0; i < lines.size(); ++i) {
         const auto parse_start = clock::now();
+        line_started[i] = parse_start;
+        // Wall-mode span timestamps come from the tracer's own clock, and
+        // the parse span starts before the trace id is known — take the
+        // pre-parse reading on the (ignored) zero timeline. Virtual mode
+        // must not tick a foreign timeline; it stamps after minting instead.
+        const u64 pre_parse_ns = tracing && wall_clock ? tracer.now_ns(0) : 0;
+
         std::string stats_id;
-        if (parse_stats_request(strip_cr(lines[i]), &stats_id)) {
-            parse_ns.record(elapsed_ns(parse_start, clock::now()));
+        bool line_parsed_ok = false;
+        parsed_request parsed;
+        const bool is_stats = parse_stats_request(strip_cr(lines[i]), &stats_id);
+        if (!is_stats) {
+            parsed = parse_request(strip_cr(lines[i]));
+            line_parsed_ok = parsed.ok();
+        }
+        parse_ns.record(elapsed_ns(parse_start, clock::now()));
+
+        if (tracing) {
+            line_trace& lt = line_traces[i];
+            u64 trace_id = 0;
+            if (line_parsed_ok && parsed.request.trace) {
+                trace_id = parsed.request.trace->trace_id;
+                lt.parent_span = parsed.request.trace->span_id;
+            } else {
+                trace_id = obs::mint_trace_id(batch_seq, i);
+            }
+            lt.root.trace_id = trace_id;
+            lt.root.span_id =
+                obs::derive_span_id(trace_id, lt.parent_span, "request");
+            lt.root_begin = wall_clock ? pre_parse_ns : tracer.now_ns(trace_id);
+
+            obs::span_record parse_span;
+            parse_span.trace_id = trace_id;
+            parse_span.parent_span_id = lt.root.span_id;
+            parse_span.span_id =
+                obs::derive_span_id(trace_id, lt.root.span_id, "parse");
+            parse_span.begin_ns =
+                wall_clock ? pre_parse_ns : tracer.now_ns(trace_id);
+            parse_span.end_ns = tracer.now_ns(trace_id);
+            std::snprintf(parse_span.name, sizeof parse_span.name, "parse");
+            tracer.record(parse_span);
+        }
+
+        if (is_stats) {
             slot s;
             s.row.request_index = i;
             s.row.id = std::move(stats_id);
             s.stats_row = true;
             any_stats_row = true;
+            if (tracing) s.row.trace = {line_traces[i].root.trace_id, 0};
             slots.push_back(std::move(s));
             continue;
         }
-        parsed_request parsed = parse_request(strip_cr(lines[i]));
-        parse_ns.record(elapsed_ns(parse_start, clock::now()));
-        if (!parsed.ok()) {
+        if (!line_parsed_ok) {
             slot s;
             s.row.request_index = i;
             s.row.error = parsed.error;
+            if (tracing) s.row.trace = {line_traces[i].root.trace_id, 0};
             slots.push_back(std::move(s));
             continue;
         }
@@ -72,9 +137,13 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
             s.row.request_index = i;
             s.row.repeat = r;
             s.row.id = req.id;
+            if (tracing) s.row.trace = {line_traces[i].root.trace_id, 0};
             sim::run_spec spec;
             const auto resolve_start = clock::now();
+            obs::trace_span resolve_span(
+                tracing ? line_traces[i].root : obs::trace_context{}, "resolve", r);
             const std::string err = resolve_request(req, r, &spec);
+            resolve_span.close();
             resolve_ns.record(elapsed_ns(resolve_start, clock::now()));
             if (!err.empty()) {
                 s.row.error = err;
@@ -85,6 +154,7 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
             s.row.seed = spec.workload_seed;
             s.spec_index = specs.size();
             specs.push_back(std::move(spec));
+            if (tracing) job_traces.push_back(line_traces[i].root);
             slots.push_back(std::move(s));
         }
     }
@@ -93,14 +163,14 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
     // result cache so a repeated identical evaluation is free; results return
     // in spec order. One execute-stage sample per batch: the end-to-end fan-
     // out wall time (per-job queue-wait/run splits live in the pool
-    // histograms).
+    // histograms and, when tracing, in per-job queue_wait/run spans).
     const auto execute_start = clock::now();
     const std::vector<sim::run_outcome> outcomes = pool_.map(
         specs, /*base_seed=*/0,
         [this](const sim::run_spec& spec, const sim::job_context&) {
             return outcomes_.outcome_for(spec);
         },
-        [](const sim::run_spec& spec) { return sim::cost_hint(spec); });
+        [](const sim::run_spec& spec) { return sim::cost_hint(spec); }, job_traces);
     if (!specs.empty()) execute_ns.record(elapsed_ns(execute_start, clock::now()));
 
     // Phase 3: merge outcomes back into their slots.
@@ -113,6 +183,24 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
         }
         if (!s.row.error.empty()) ++errors;
         rows.push_back(std::move(s.row));
+    }
+
+    // Per-line bookkeeping now that every row is settled: the end-to-end
+    // request latency (what an SLO on this service is evaluated against —
+    // recorded tracing or not), and the root span close.
+    const auto batch_end = clock::now();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        request_ns.record(elapsed_ns(line_started[i], batch_end));
+        if (!tracing) continue;
+        const line_trace& lt = line_traces[i];
+        obs::span_record root;
+        root.trace_id = lt.root.trace_id;
+        root.span_id = lt.root.span_id;
+        root.parent_span_id = lt.parent_span;
+        root.begin_ns = lt.root_begin;
+        root.end_ns = tracer.now_ns(lt.root.trace_id);
+        std::snprintf(root.name, sizeof root.name, "request");
+        tracer.record(root);
     }
 
     if (stats) {
@@ -153,7 +241,12 @@ bool service::serve_batch(std::istream& in, std::ostream& out, batch_stats* stat
         metrics_.get_histogram("service.serialize_ns");
     for (const response_row& row : evaluate(lines, stats)) {
         const auto start = clock::now();
+        // The root "request" span closed inside evaluate(), so serialization
+        // records as a second top-level span of the same trace (row.trace
+        // carries {trace id, parent 0}; zero when tracing is off).
+        obs::trace_span span(row.trace, "serialize", row.repeat);
         const std::string json = to_json(row);
+        span.close();
         serialize_ns.record(elapsed_ns(start, clock::now()));
         out << json << '\n';
     }

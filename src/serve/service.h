@@ -86,6 +86,10 @@ private:
     workload_cache cache_;
     outcome_cache outcomes_;
     sim::executor pool_;
+    // Trace minting sequence: batch n, line i => mint_trace_id(n, i), so
+    // trace ids are a pure function of the session's input, never of
+    // scheduling. Only advanced while tracing is enabled.
+    u64 batch_seq_ = 0;
 };
 
 }  // namespace meek::serve

@@ -39,6 +39,7 @@
 #include "common/types.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/placement.h"
 #include "sched/pool.h"
 
@@ -134,9 +135,16 @@ public:
     // batch is dealt round-robin. Placement and stealing reorder *scheduling
     // only*: stream seeds and result order are functions of the job index, so
     // hinted and unhinted batches are bit-identical.
+    //
+    // `traces` (optional) carries one parent trace context per job: job i
+    // records a "job" span (children "queue_wait"/"run") under traces[i] and
+    // runs its body with that span as the thread's ambient trace, so logs
+    // and nested spans inside the job correlate. Contexts never influence
+    // scheduling; an empty/zero context is free.
     template <class Fn>
     auto run_indexed(std::size_t count, u64 base_seed, Fn fn,
-                     std::span<const double> cost_hints = {})
+                     std::span<const double> cost_hints = {},
+                     std::span<const obs::trace_context> traces = {})
         -> std::vector<std::invoke_result_t<Fn&, const job_context&>> {
         using result_t = std::invoke_result_t<Fn&, const job_context&>;
         std::vector<std::future<result_t>> futures(count);
@@ -147,12 +155,17 @@ public:
             // histograms (queue wait = post to start, run = the body itself)
             // — purely diagnostic, never fed back into results, so
             // determinism holds.
+            obs::job_span_recorder spans(
+                i < traces.size() ? traces[i] : obs::trace_context{}, i);
             const auto posted = std::chrono::steady_clock::now();
             auto task = std::make_shared<std::packaged_task<result_t()>>(
-                [this, fn, ctx, posted] {
+                [this, fn, ctx, posted, spans]() mutable {
+                    spans.started();
+                    const obs::scoped_trace ambient(spans.context());
                     const auto start = std::chrono::steady_clock::now();
                     result_t result = fn(ctx);
                     note_job(posted, start, std::chrono::steady_clock::now());
+                    spans.finished();
                     return result;
                 });
             futures[i] = task->get_future();
@@ -184,8 +197,10 @@ public:
 
     // map with a per-item cost hint (hint_of: const Item& -> double); the
     // batch is cost-balanced across the workers, results stay in item order.
+    // `traces` as in run_indexed: one parent context per item.
     template <class Item, class Fn, class HintOf>
-    auto map(const std::vector<Item>& items, u64 base_seed, Fn fn, HintOf hint_of)
+    auto map(const std::vector<Item>& items, u64 base_seed, Fn fn, HintOf hint_of,
+             std::span<const obs::trace_context> traces = {})
         -> std::vector<std::invoke_result_t<Fn&, const Item&, const job_context&>> {
         std::vector<double> hints;
         hints.reserve(items.size());
@@ -193,7 +208,7 @@ public:
         return run_indexed(
             items.size(), base_seed,
             [&items, fn](const job_context& ctx) { return fn(items[ctx.index], ctx); },
-            hints);
+            hints, traces);
     }
 
 private:

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/bits.h"
 #include "common/clock.h"
 #include "common/config.h"
@@ -15,6 +18,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "obs/trace.h"
 
 namespace meek {
 namespace {
@@ -308,6 +312,92 @@ TEST(log, concurrent_messages_never_interleave) {
         ASSERT_EQ(payload, std::string(100, 'x')) << "sheared line: " << line;
     }
     EXPECT_EQ(count, k_threads * k_lines);
+}
+
+// ------------------------------------------------------ trace correlation ---
+
+TEST(log, format_pins_the_trace_prefix) {
+    EXPECT_EQ(format_log_line(log_level::info, "msg", 0, 0x1234),
+              "[info ] [trace=0000000000001234] msg\n");
+    EXPECT_EQ(format_log_line(log_level::error, "boom", 0,
+                              0xdeadbeefcafef00dULL),
+              "[error] [trace=deadbeefcafef00d] boom\n");
+    // Zero trace id means "no active span": no prefix.
+    EXPECT_EQ(format_log_line(log_level::info, "msg", 0, 0), "[info ] msg\n");
+    // The prefix composes with the truncation note.
+    EXPECT_EQ(format_log_line(log_level::warn, "w", 3, 0x1),
+              "[warn ] [trace=0000000000000001] w [truncated 3 bytes]\n");
+}
+
+TEST(log, lines_inside_an_active_span_carry_the_trace_prefix) {
+    const log_level saved = global_log_level();
+    global_log_level() = log_level::info;
+
+    obs::trace_context ctx;
+    ctx.trace_id = 0xabcdef0123456789ULL;
+    ctx.span_id = 0x42;
+    testing::internal::CaptureStderr();
+    {
+        obs::scoped_trace active(ctx);
+        log_message(log_level::info, "inside");
+    }
+    log_message(log_level::info, "outside");
+    const std::string captured = testing::internal::GetCapturedStderr();
+    global_log_level() = saved;
+
+    EXPECT_NE(captured.find("[info ] [trace=abcdef0123456789] inside\n"),
+              std::string::npos)
+        << captured;
+    EXPECT_NE(captured.find("[info ] outside\n"), std::string::npos) << captured;
+    // The restored (empty) context must not leak a stale prefix.
+    EXPECT_EQ(captured.find("[trace=abcdef0123456789] outside"),
+              std::string::npos)
+        << captured;
+}
+
+// -------------------------------------------------------- atomic file IO ---
+
+namespace {
+
+std::string slurp(const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+}  // namespace
+
+TEST(atomic_file, writes_creates_parents_and_leaves_no_temp_behind) {
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "meek_atomic_file_test";
+    std::filesystem::remove_all(dir);
+
+    const std::filesystem::path target = dir / "nested" / "out.json";
+    ASSERT_TRUE(write_file_atomic(target.string(), "{\"a\":1}\n"));
+    EXPECT_EQ(slurp(target), "{\"a\":1}\n");
+
+    // Overwrite replaces the full contents, not appends.
+    ASSERT_TRUE(write_file_atomic(target.string(), "short"));
+    EXPECT_EQ(slurp(target), "short");
+
+    // No *.tmp staging files may survive a successful rename.
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        EXPECT_NE(entry.path().extension(), ".tmp")
+            << "stray staging file: " << entry.path();
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(atomic_file, reports_failure_for_unwritable_destinations) {
+    // A directory path cannot be renamed over.
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "meek_atomic_file_dir";
+    std::filesystem::create_directories(dir);
+    EXPECT_FALSE(write_file_atomic(dir.string(), "contents"));
+    std::filesystem::remove_all(dir);
 }
 
 }  // namespace

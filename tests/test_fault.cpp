@@ -321,5 +321,49 @@ TEST(campaign, errors_only_when_faults_injected) {
     EXPECT_EQ(r.detected, 0u);
 }
 
+// -------------------------------------------------------------- metrics ---
+
+u64 counter_or_zero(const obs::metrics_snapshot& snap, std::string_view name) {
+    const u64* v = snap.counter_value(name);
+    return v != nullptr ? *v : 0;
+}
+
+TEST(campaign_metrics, shards_pour_progress_counters_into_the_registry) {
+    const std::string dir = ::testing::TempDir() + "meek_campaign_metrics";
+    std::filesystem::remove_all(dir);
+    resume_fixture fx(dir);  // 20 faults over 4 shards
+    sim::executor ex(2);
+
+    obs::metrics_registry reg;
+    fault_campaign_config fc = fx.fc;
+    fc.metrics = &reg;
+    const campaign_result first = run_fault_campaign(fx.soc, fx.wl.prog, fc, ex);
+
+    const obs::metrics_snapshot snap = reg.snapshot();
+    EXPECT_EQ(counter_or_zero(snap, "campaign.shards_completed"), 4u);
+    EXPECT_EQ(counter_or_zero(snap, "campaign.shards_resumed"), 0u);
+    EXPECT_EQ(counter_or_zero(snap, "campaign.faults_injected"),
+              first.detected + first.masked);
+    EXPECT_EQ(counter_or_zero(snap, "campaign.records_emitted"),
+              first.faults.size());
+
+    // The registry is observability only: results match a metrics-free run.
+    fault_campaign_config plain = fx.fc;
+    plain.checkpoint_dir.clear();
+    expect_same_records(run_fault_campaign(fx.soc, fx.wl.prog, plain, ex), first);
+
+    // A resumed rerun satisfies every shard from its checkpoint, and the
+    // counters say so — same records, zero re-simulated shards.
+    obs::metrics_registry reg2;
+    fc.metrics = &reg2;
+    const campaign_result second = run_fault_campaign(fx.soc, fx.wl.prog, fc, ex);
+    expect_same_records(first, second);
+    const obs::metrics_snapshot snap2 = reg2.snapshot();
+    EXPECT_EQ(counter_or_zero(snap2, "campaign.shards_completed"), 4u);
+    EXPECT_EQ(counter_or_zero(snap2, "campaign.shards_resumed"), 4u);
+    EXPECT_EQ(counter_or_zero(snap2, "campaign.records_emitted"),
+              second.faults.size());
+}
+
 }  // namespace
 }  // namespace meek

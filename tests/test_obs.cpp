@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +16,9 @@
 #include "obs/histogram.h"
 #include "obs/loadgen.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/stats_json.h"
+#include "obs/trace.h"
 #include "serve/json.h"
 
 namespace meek::obs {
@@ -295,6 +299,379 @@ TEST(loadgen, open_loop_simulation_is_deterministic_and_shows_queueing) {
     const open_loop_result over4 = simulate_open_loop(fast, service_ns, 4);
     EXPECT_LT(over4.latency_ns.p99(), over1.latency_ns.p99());
     EXPECT_GE(over1.makespan_ns, fast.back().arrival_ns);
+}
+
+TEST(loadgen, window_split_partitions_the_latency_stream) {
+    const arrival_schedule_config cfg{
+        .qps = 50'000, .requests = 200, .seed = 9, .mix_size = 3, .jitter = true};
+    const std::vector<arrival> arrivals = build_arrival_schedule(cfg);
+    const std::vector<u64> service_ns = {10'000, 25'000, 60'000};
+
+    const open_loop_result whole = simulate_open_loop(arrivals, service_ns, 2);
+    const open_loop_result split = simulate_open_loop(arrivals, service_ns, 2, 8);
+    ASSERT_EQ(split.window_latency.size(), 8u);
+
+    // The windows partition the stream: counts sum to the total, and merging
+    // them back reproduces the cumulative histogram bit for bit.
+    u64 total = 0;
+    log_histogram merged;
+    for (const log_histogram& w : split.window_latency) {
+        total += w.count();
+        merged.merge(w);
+    }
+    EXPECT_EQ(total, whole.latency_ns.count());
+    EXPECT_EQ(merged, whole.latency_ns);
+    EXPECT_EQ(split.latency_ns, whole.latency_ns);
+
+    // Window assignment is a pure function of the schedule.
+    const open_loop_result again = simulate_open_loop(arrivals, service_ns, 2, 8);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(split.window_latency[i], again.window_latency[i]) << i;
+    }
+}
+
+// ------------------------------------------------------------------ trace ---
+
+// Quiesce-and-reset guard: every tracer test starts from a clean singleton
+// and leaves it disabled for the next test.
+struct tracer_guard {
+    tracer_guard() {
+        tracer::instance().disable();
+        tracer::instance().reset();
+    }
+    ~tracer_guard() {
+        tracer::instance().disable();
+        tracer::instance().reset();
+    }
+};
+
+TEST(trace_ids, minting_and_derivation_are_pure_and_nonzero) {
+    EXPECT_EQ(mint_trace_id(3, 7), mint_trace_id(3, 7));
+    EXPECT_NE(mint_trace_id(3, 7), mint_trace_id(3, 8));
+    EXPECT_NE(mint_trace_id(3, 7), mint_trace_id(4, 7));
+    EXPECT_NE(mint_trace_id(0, 0), 0u);
+
+    const u64 t = mint_trace_id(0, 0);
+    EXPECT_EQ(derive_span_id(t, 0, "request"), derive_span_id(t, 0, "request"));
+    EXPECT_NE(derive_span_id(t, 0, "request"), derive_span_id(t, 0, "parse"));
+    EXPECT_NE(derive_span_id(t, 0, "resolve", 0), derive_span_id(t, 0, "resolve", 1));
+    EXPECT_NE(derive_span_id(t, 0, "x"), 0u);
+}
+
+TEST(tracer, virtual_clock_ticks_per_timeline) {
+    tracer_guard guard;
+    tracer& tr = tracer::instance();
+    tr.enable(trace_clock_mode::virtual_);
+    EXPECT_EQ(tr.clock_mode(), trace_clock_mode::virtual_);
+    // Each timeline counts its own microsecond ticks from 1; interleaving
+    // reads on another timeline never perturbs the first.
+    EXPECT_EQ(tr.now_ns(5), 1'000u);
+    EXPECT_EQ(tr.now_ns(7), 1'000u);
+    EXPECT_EQ(tr.now_ns(5), 2'000u);
+    EXPECT_EQ(tr.now_ns(5), 3'000u);
+    EXPECT_EQ(tr.now_ns(7), 2'000u);
+    tr.reset();
+    tr.enable(trace_clock_mode::virtual_);
+    EXPECT_EQ(tr.now_ns(5), 1'000u) << "reset must restart every timeline";
+}
+
+TEST(tracer, spans_record_drain_and_nest) {
+    tracer_guard guard;
+    tracer& tr = tracer::instance();
+    tr.enable(trace_clock_mode::virtual_);
+
+    const trace_context root{mint_trace_id(0, 0),
+                             derive_span_id(mint_trace_id(0, 0), 0, "request")};
+    {
+        trace_span outer(root, "outer");
+        trace_span inner(outer.context(), "inner");
+    }
+    const std::vector<span_record> spans = tr.drain();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(tr.spans_recorded(), 2u);
+    EXPECT_EQ(tr.spans_dropped(), 0u);
+    EXPECT_EQ(validate_span_nesting(spans, /*allow_external_parents=*/true), "");
+    EXPECT_TRUE(tr.drain().empty()) << "drain consumes";
+
+    // Inactive contexts and a disabled tracer are free no-ops.
+    tr.disable();
+    trace_span dead(root, "dead");
+    EXPECT_FALSE(dead.active());
+    trace_span zero(trace_context{}, "zero");
+    EXPECT_FALSE(zero.active());
+}
+
+TEST(tracer, full_ring_drops_new_spans_counted_never_crashing) {
+    tracer_guard guard;
+    tracer& tr = tracer::instance();
+    tr.set_ring_capacity(4);
+    tr.enable(trace_clock_mode::virtual_);
+
+    span_record rec;
+    rec.trace_id = 1;
+    rec.name[0] = 's';
+    for (u64 i = 1; i <= 10; ++i) {
+        rec.span_id = i;
+        tr.record(rec);
+    }
+    EXPECT_EQ(tr.spans_dropped(), 6u);
+    const std::vector<span_record> spans = tr.drain();
+    ASSERT_EQ(spans.size(), 4u);
+    for (u64 i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].span_id, i + 1) << "drops are newest, not oldest";
+    }
+    // The ring is reusable after a drain.
+    rec.span_id = 99;
+    tr.record(rec);
+    EXPECT_EQ(tr.drain().size(), 1u);
+}
+
+TEST(tracer, rings_of_exited_threads_are_flushed_not_lost) {
+    tracer_guard guard;
+    tracer& tr = tracer::instance();
+    tr.enable(trace_clock_mode::virtual_);
+
+    constexpr int k_threads = 8;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < k_threads; ++t) {
+        threads.emplace_back([t, &tr] {
+            span_record rec;
+            rec.trace_id = static_cast<u64>(t) + 1;
+            rec.span_id = 1;
+            rec.name[0] = 'w';
+            tr.record(rec);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(tr.drain().size(), static_cast<std::size_t>(k_threads));
+}
+
+TEST(trace_export, chrome_json_round_trips_and_validates) {
+    std::vector<span_record> spans;
+    const u64 t = mint_trace_id(2, 3);
+    span_record root;
+    root.trace_id = t;
+    root.span_id = derive_span_id(t, 0, "request");
+    root.begin_ns = 1'000;
+    root.end_ns = 7'500;
+    std::snprintf(root.name, sizeof root.name, "request");
+    span_record child;  // fresh, not copied: a copy would keep the stale
+    child.trace_id = t;  // name-buffer tail past the NUL and break operator==
+    child.parent_span_id = root.span_id;
+    child.span_id = derive_span_id(t, root.span_id, "parse");
+    child.begin_ns = 2'000;
+    child.end_ns = 3'000;
+    std::snprintf(child.name, sizeof child.name, "parse");
+    spans = {child, root};  // deliberately unsorted
+
+    const std::string doc = chrome_trace_json(spans, /*dropped_spans=*/5);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+
+    // The export is valid JSON by the serve parser's strict reading.
+    EXPECT_TRUE(serve::json_parse(doc).has_value());
+
+    std::vector<span_record> back;
+    u64 dropped = 0;
+    std::string error;
+    ASSERT_TRUE(parse_chrome_trace_json(doc, &back, &dropped, &error)) << error;
+    EXPECT_EQ(dropped, 5u);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0], root) << "export sorts parents before children";
+    EXPECT_EQ(back[1], child);
+    EXPECT_EQ(validate_span_nesting(back), "");
+
+    std::vector<span_record> junk;
+    EXPECT_FALSE(parse_chrome_trace_json("{}", &junk, nullptr, &error));
+    EXPECT_FALSE(parse_chrome_trace_json("not json", &junk, nullptr, &error));
+}
+
+TEST(trace_export, nesting_validator_catches_violations) {
+    const u64 t = mint_trace_id(1, 1);
+    span_record root;
+    root.trace_id = t;
+    root.span_id = 10;
+    root.begin_ns = 100;
+    root.end_ns = 200;
+    std::snprintf(root.name, sizeof root.name, "root");
+    span_record child = root;
+    child.span_id = 11;
+    child.parent_span_id = 10;
+    child.begin_ns = 150;
+    child.end_ns = 180;
+
+    EXPECT_EQ(validate_span_nesting({root, child}), "");
+
+    span_record outside = child;
+    outside.end_ns = 250;  // spills past the parent
+    EXPECT_NE(validate_span_nesting({root, outside}), "");
+
+    span_record dup = child;
+    dup.span_id = 10;  // collides with root
+    EXPECT_NE(validate_span_nesting({root, dup}), "");
+
+    span_record orphan = child;
+    orphan.parent_span_id = 999;  // parent not in the trace
+    EXPECT_NE(validate_span_nesting({root, orphan}), "");
+    EXPECT_EQ(validate_span_nesting({root, orphan},
+                                    /*allow_external_parents=*/true),
+              "")
+        << "external parents are roots under the lenient mode";
+
+    span_record reversed = child;
+    reversed.begin_ns = 300;
+    reversed.end_ns = 250;
+    EXPECT_NE(validate_span_nesting({reversed}), "");
+
+    span_record self_loop = child;
+    self_loop.parent_span_id = self_loop.span_id;
+    EXPECT_NE(validate_span_nesting({root, self_loop}), "");
+}
+
+// -------------------------------------------------------------------- slo ---
+
+TEST(slo_spec, grammar_accepts_the_documented_forms) {
+    slo_spec spec;
+    std::string error;
+    ASSERT_TRUE(
+        parse_slo_spec(" p99 <= 250us , p999<=1ms, error_rate<=0.1% ", &spec, &error))
+        << error;
+    ASSERT_EQ(spec.clauses.size(), 3u);
+    EXPECT_EQ(spec.text, "p99<=250us,p999<=1ms,error_rate<=0.1%");
+    EXPECT_EQ(spec.clauses[0].metric, slo_metric::quantile);
+    EXPECT_DOUBLE_EQ(spec.clauses[0].quantile, 0.99);
+    EXPECT_EQ(spec.clauses[0].threshold_ns, 250'000u);
+    EXPECT_DOUBLE_EQ(spec.clauses[1].quantile, 0.999);
+    EXPECT_EQ(spec.clauses[1].threshold_ns, 1'000'000u);
+    EXPECT_EQ(spec.clauses[2].metric, slo_metric::error_rate);
+    EXPECT_DOUBLE_EQ(spec.clauses[2].threshold_ratio, 0.001);
+
+    ASSERT_TRUE(parse_slo_spec("mean<=1500,max<=2s", &spec, &error)) << error;
+    EXPECT_EQ(spec.clauses[0].metric, slo_metric::mean);
+    EXPECT_EQ(spec.clauses[0].threshold_ns, 1'500u) << "bare numbers are ns";
+    EXPECT_EQ(spec.clauses[1].metric, slo_metric::max);
+    EXPECT_EQ(spec.clauses[1].threshold_ns, 2'000'000'000u);
+}
+
+TEST(slo_spec, grammar_rejects_malformed_specs) {
+    slo_spec spec;
+    std::string error;
+    EXPECT_FALSE(parse_slo_spec("", &spec, &error));
+    EXPECT_FALSE(parse_slo_spec("p99<250us", &spec, &error)) << "only <=";
+    EXPECT_FALSE(parse_slo_spec("p<=5us", &spec, &error)) << "p needs digits";
+    EXPECT_FALSE(parse_slo_spec("median<=5us", &spec, &error));
+    EXPECT_FALSE(parse_slo_spec("p99<=fast", &spec, &error));
+    EXPECT_FALSE(parse_slo_spec("p99<=5lightyears", &spec, &error));
+    EXPECT_FALSE(parse_slo_spec("p99<=250us,,p50<=1us", &spec, &error));
+    EXPECT_FALSE(parse_slo_spec("error_rate<=1ms", &spec, &error))
+        << "error_rate takes a ratio, not a latency unit";
+}
+
+TEST(slo_eval, clauses_judge_observed_against_threshold_with_burn_rate) {
+    log_histogram lat;
+    for (u64 i = 0; i < 99; ++i) lat.record(1'000);  // 1 µs floor
+    lat.record(100'000);                             // one 100 µs tail sample
+
+    slo_spec spec;
+    ASSERT_TRUE(parse_slo_spec("p50<=2us,max<=50us,error_rate<=5%", &spec));
+    const slo_report report = evaluate_slo(spec, lat, /*errors=*/1, /*total=*/100);
+
+    ASSERT_EQ(report.clauses.size(), 3u);
+    EXPECT_FALSE(report.clauses[0].violated);
+    EXPECT_LE(report.clauses[0].burn_rate, 1.0);
+    EXPECT_TRUE(report.clauses[1].violated) << "the tail sample breaks max<=50us";
+    EXPECT_GT(report.clauses[1].burn_rate, 1.0);
+    EXPECT_FALSE(report.clauses[2].violated);
+    EXPECT_DOUBLE_EQ(report.clauses[2].observed_ratio, 0.01);
+    EXPECT_TRUE(report.violated);
+    EXPECT_EQ(report.samples, 100u);
+    EXPECT_DOUBLE_EQ(report.max_burn_rate, report.clauses[1].burn_rate);
+}
+
+TEST(slo_eval, any_bad_window_violates_a_latency_clause) {
+    // Seven quiet windows and one with a brief spike: across the whole
+    // stream the spike is 0.5% of samples, under the cumulative p99 — only
+    // the windowed evaluation can flag it.
+    std::vector<log_histogram> windows(8);
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+        for (int i = 0; i < 50; ++i) {
+            const bool spike = w == 5 && i < 2;
+            windows[w].record(spike ? 900'000 : 1'000);
+        }
+    }
+    slo_spec spec;
+    ASSERT_TRUE(parse_slo_spec("p99<=500us", &spec));
+
+    const slo_report windowed = evaluate_slo_windows(spec, windows);
+    EXPECT_TRUE(windowed.violated);
+    EXPECT_EQ(windowed.clauses[0].worst_window, 5u);
+    EXPECT_EQ(windowed.windows, 8u);
+    EXPECT_EQ(windowed.samples, 400u);
+
+    log_histogram cumulative;
+    for (const log_histogram& w : windows) cumulative.merge(w);
+    EXPECT_FALSE(evaluate_slo(spec, cumulative).violated)
+        << "the spike hides in the cumulative p99 — the windowed check exists "
+           "for exactly this case";
+}
+
+TEST(slo_eval, window_diff_and_monitor_recover_per_interval_streams) {
+    atomic_log_histogram live;
+    slo_window_monitor monitor(/*max_windows=*/3);
+
+    live.record(1'000);
+    live.record(2'000);
+    monitor.observe(live.snapshot());
+    const log_histogram first = monitor.windows().back();
+    EXPECT_EQ(first.count(), 2u);
+
+    live.record(800'000);
+    monitor.observe(live.snapshot());
+    ASSERT_EQ(monitor.windows().size(), 2u);
+    const log_histogram second = monitor.windows().back();
+    EXPECT_EQ(second.count(), 1u);
+    EXPECT_GE(second.p99(), 500'000u) << "the new sample lands in the new window";
+
+    // Quiet intervals still produce (empty) windows; the deque stays bounded.
+    monitor.observe(live.snapshot());
+    monitor.observe(live.snapshot());
+    EXPECT_EQ(monitor.windows().size(), 3u);
+    EXPECT_EQ(monitor.windows().back().count(), 0u);
+
+    // diff is exact on counts even though values quantize to bucket floors.
+    log_histogram prev;
+    prev.record(5'000);
+    log_histogram cur = prev;
+    cur.record(70'000);
+    cur.record(70'001);
+    const log_histogram diff = histogram_window_diff(cur, prev);
+    EXPECT_EQ(diff.count(), 2u);
+    EXPECT_EQ(diff.min(), bucket_lo(bucket_index(70'000)));
+}
+
+TEST(slo_eval, report_serializes_into_stats_json) {
+    log_histogram lat;
+    for (int i = 0; i < 100; ++i) lat.record(10'000);
+    slo_spec spec;
+    ASSERT_TRUE(parse_slo_spec("p99<=5us,error_rate<=1%", &spec));
+    const slo_report report = evaluate_slo(spec, lat, /*errors=*/0, /*total=*/100);
+    ASSERT_TRUE(report.violated);
+
+    metrics_snapshot snap;
+    snap.set_counter("x.count", 100);
+    const std::string doc = stats_json(snap, &report);
+    std::string parse_error;
+    const std::optional<serve::json_value> parsed = serve::json_parse(doc, &parse_error);
+    ASSERT_TRUE(parsed.has_value()) << parse_error;
+    const serve::json_value* slo = parsed->get("slo");
+    ASSERT_NE(slo, nullptr);
+    EXPECT_EQ(slo->get("spec")->as_string(), "p99<=5us,error_rate<=1%");
+    EXPECT_TRUE(slo->get("violated")->as_bool());
+    ASSERT_NE(slo->get("clauses"), nullptr);
+    EXPECT_EQ(slo->get("clauses")->items().size(), 2u);
+
+    // Without a report the section is absent — untouched meek.stats.v1.
+    EXPECT_EQ(serve::json_parse(stats_json(snap))->get("slo"), nullptr);
 }
 
 }  // namespace

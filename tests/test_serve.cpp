@@ -17,11 +17,13 @@
 #include <filesystem>
 #include <fstream>
 #include <random>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/json.h"
 #include "serve/outcome_cache.h"
 #include "serve/protocol.h"
@@ -1089,6 +1091,193 @@ TEST(serve_service, stats_snapshot_carries_cache_and_pool_metrics) {
     EXPECT_EQ(*snap.gauge_value("pool.threads"), 1u);
     ASSERT_NE(snap.histogram("pool.run_ns"), nullptr);
     EXPECT_EQ(snap.histogram("pool.run_ns")->count(), 2u);
+}
+
+// ---------------------------------------------------------------- tracing ---
+
+// The tracer is process-wide; every tracing test scopes enable/reset so the
+// rest of the suite runs untraced.
+struct tracer_guard {
+    tracer_guard() {
+        obs::tracer::instance().disable();
+        obs::tracer::instance().reset();
+    }
+    ~tracer_guard() {
+        obs::tracer::instance().disable();
+        obs::tracer::instance().reset();
+    }
+};
+
+std::vector<std::string> golden_request_lines() {
+    const std::filesystem::path path =
+        std::filesystem::path(MEEK_DATA_DIR) / "serve_requests.ndjson";
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!serve::is_blank_line(line)) lines.push_back(line);
+    }
+    return lines;
+}
+
+TEST(serve_tracing, golden_batch_rows_are_identical_with_tracing_on) {
+    const std::vector<std::string> lines = golden_request_lines();
+    ASSERT_EQ(lines.size(), 50u);
+
+    tracer_guard guard;
+    std::string untraced;
+    {
+        serve::service svc({.threads = 2});
+        untraced = rows_to_text(svc.evaluate(lines));
+    }
+    obs::tracer::instance().enable(obs::trace_clock_mode::virtual_);
+    serve::service svc({.threads = 2});
+    EXPECT_EQ(rows_to_text(svc.evaluate(lines)), untraced)
+        << "tracing must never change response bytes";
+    EXPECT_GT(obs::tracer::instance().spans_recorded(), 0u);
+}
+
+TEST(serve_tracing, golden_batch_virtual_trace_is_identical_across_threads) {
+    const std::vector<std::string> lines = golden_request_lines();
+    ASSERT_EQ(lines.size(), 50u);
+    tracer_guard guard;
+
+    auto traced_export = [&lines](u32 threads) {
+        obs::tracer& tr = obs::tracer::instance();
+        tr.reset();
+        tr.enable(obs::trace_clock_mode::virtual_);
+        serve::service svc({.threads = threads});
+        std::istringstream in(
+            [&lines] {
+                std::string text;
+                for (const std::string& l : lines) text += l + '\n';
+                return text;
+            }());
+        std::ostringstream out;
+        svc.serve_stream(in, out, /*framed=*/false);
+        const std::string doc = obs::chrome_trace_json(tr.drain(), tr.spans_dropped());
+        tr.disable();
+        return doc;
+    };
+
+    const std::string doc1 = traced_export(1);
+    const std::string doc4 = traced_export(4);
+    EXPECT_EQ(doc1, doc4)
+        << "virtual-clock trace export must not depend on thread count";
+
+    std::vector<obs::span_record> spans;
+    u64 dropped = 0;
+    std::string error;
+    ASSERT_TRUE(obs::parse_chrome_trace_json(doc1, &spans, &dropped, &error))
+        << error;
+    EXPECT_EQ(dropped, 0u);
+    EXPECT_EQ(obs::validate_span_nesting(spans), "");
+    // Every request line contributes one full span chain: request, parse,
+    // resolve, job, queue_wait, run, serialize.
+    EXPECT_EQ(spans.size(), 50u * 7u);
+    std::set<u64> traces;
+    for (const obs::span_record& s : spans) traces.insert(s.trace_id);
+    EXPECT_EQ(traces.size(), 50u);
+}
+
+TEST(serve_tracing, fuzzed_batches_always_produce_valid_span_nests) {
+    tracer_guard guard;
+
+    std::mt19937_64 rng(0x5EEDBA7C);
+    const std::vector<std::string> pool = {
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":3})",
+        R"({"scenario":"meek/f2/opt/2","workload":"blackscholes","instructions":6000,"repeats":3})",
+        R"({"scenario":"vanilla","workload":"doom"})",   // unknown workload
+        R"(}{ not json)",                                 // parse error
+        R"({"stats":true})",                              // stats row
+        "trace",  // placeholder: adopted wire context, fresh ids per pick
+    };
+    u64 next_wire_trace = 1000;
+    for (int round = 0; round < 8; ++round) {
+        const std::size_t n = 1 + rng() % 12;
+        std::vector<std::string> lines;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::string line = pool[rng() % pool.size()];
+            if (line == "trace") {
+                // Span ids are pure functions of the adopted context, so each
+                // occurrence needs a distinct trace id to keep them unique.
+                line = R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"trace":{"trace_id":)" +
+                       std::to_string(next_wire_trace++) + R"(,"span_id":5}})";
+            }
+            lines.push_back(line);
+        }
+        // Fresh services restart their batch sequence, so minted trace ids
+        // (and their virtual timelines) repeat across rounds: give each round
+        // a clean tracer and validate its journal on its own.
+        obs::tracer::instance().reset();
+        obs::tracer::instance().enable(obs::trace_clock_mode::virtual_);
+        serve::service svc({.threads = 1 + static_cast<u32>(rng() % 4)});
+        svc.evaluate(lines);
+        const std::vector<obs::span_record> spans =
+            obs::tracer::instance().drain();
+        obs::tracer::instance().disable();
+        ASSERT_FALSE(spans.empty()) << "round " << round;
+        // Adopted wire contexts parent the request span outside this journal,
+        // so external parents are legal; all other invariants hold strictly.
+        EXPECT_EQ(
+            obs::validate_span_nesting(spans, /*allow_external_parents=*/true),
+            "")
+            << "round " << round;
+    }
+}
+
+TEST(serve_protocol, trace_field_round_trips_and_parses_strictly) {
+    const serve::parsed_request with = serve::parse_request(
+        R"({"scenario":"vanilla","workload":"hmmer","trace":{"trace_id":7,"span_id":9}})");
+    ASSERT_TRUE(with.ok()) << with.error;
+    ASSERT_TRUE(with.request.trace.has_value());
+    EXPECT_EQ(with.request.trace->trace_id, 7u);
+    EXPECT_EQ(with.request.trace->span_id, 9u);
+
+    // Serialization emits the field; reparsing recovers the same context.
+    const serve::parsed_request again =
+        serve::parse_request(serve::to_json(with.request));
+    ASSERT_TRUE(again.ok()) << again.error;
+    EXPECT_EQ(again.request.trace, with.request.trace);
+
+    // Absent field => no context (old wire form unchanged).
+    const serve::parsed_request without = serve::parse_request(
+        R"({"scenario":"vanilla","workload":"hmmer"})");
+    ASSERT_TRUE(without.ok()) << without.error;
+    EXPECT_FALSE(without.request.trace.has_value());
+
+    // Strictness: a typo must not silently drop a context.
+    const char* bad[] = {
+        R"({"scenario":"vanilla","workload":"hmmer","trace":{"trace_id":0}})",
+        R"({"scenario":"vanilla","workload":"hmmer","trace":{"span_id":9}})",
+        R"({"scenario":"vanilla","workload":"hmmer","trace":{"trace_id":7,"spam_id":9}})",
+        R"({"scenario":"vanilla","workload":"hmmer","trace":{"trace_id":-1}})",
+        R"({"scenario":"vanilla","workload":"hmmer","trace":7})",
+    };
+    for (const char* line : bad) {
+        const serve::parsed_request p = serve::parse_request(line);
+        EXPECT_FALSE(p.ok()) << line;
+        EXPECT_NE(p.error.find("trace"), std::string::npos) << p.error;
+    }
+}
+
+TEST(serve_protocol, response_trace_id_round_trips_but_is_never_minted) {
+    serve::response_row row;
+    row.request_index = 3;
+    row.trace_id = 0xfeed;
+    row.outcome.scenario = "vanilla";
+    const std::string wire = serve::to_json(row);
+    EXPECT_NE(wire.find("\"trace_id\":65261"), std::string::npos) << wire;
+    std::string error;
+    const auto parsed = serve::parse_response(wire, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->trace_id, 0xfeedu);
+
+    // The service itself must not emit the field: rows stay byte-identical
+    // with tracing on (pinned by golden_batch_rows_are_identical above).
+    serve::response_row plain;
+    plain.outcome.scenario = "vanilla";
+    EXPECT_EQ(serve::to_json(plain).find("trace_id"), std::string::npos);
 }
 
 }  // namespace

@@ -31,7 +31,18 @@
 //   --stats-json PATH      after serving, write the gateway's observability
 //                          snapshot (meek.stats.v1: totals, per-worker
 //                          error-row/respawn counts, worker round-trip
-//                          latency histogram) as one JSON line
+//                          latency histogram) as one JSON line, atomically
+//                          (temp file + rename)
+//   --trace-json PATH      enable request tracing (the gateway mints a trace
+//                          per request line and injects it into the lines it
+//                          forwards, so worker-side spans join the same
+//                          trace) and export the gateway's span journal as
+//                          Chrome trace-event JSON after serving
+//   --trace-clock MODE     trace timestamps: wall (default) or virtual
+//                          (deterministic ticks, worker-count independent)
+//   --slo SPEC             evaluate SPEC against the worker round-trip
+//                          latency after serving: report to stderr, "slo"
+//                          section in --stats-json, exit 1 on violation
 //   --quiet                suppress the stderr session summary
 #include <cstdio>
 #include <cstdlib>
@@ -42,7 +53,10 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.h"
+#include "obs/slo.h"
 #include "obs/stats_json.h"
+#include "obs/trace.h"
 #include "serve/gateway.h"
 
 using namespace meek;
@@ -53,8 +67,9 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--workers N] [--worker-cmd PATH] [--endpoint ADDR]... \n"
                  "          [--threads N] [--cache-capacity N] [--outcome-capacity N]\n"
-                 "          [--requests FILE] [--framed] [--stats-json PATH] "
-                 "[--quiet]\n",
+                 "          [--requests FILE] [--framed] [--stats-json PATH]\n"
+                 "          [--trace-json PATH] [--trace-clock wall|virtual] "
+                 "[--slo SPEC] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -75,6 +90,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> worker_extra_args;
     std::string requests_file;
     std::string stats_json_path;
+    std::string trace_json_path;
+    std::string slo_text;
+    obs::trace_clock_mode trace_clock = obs::trace_clock_mode::wall;
     bool framed = false;
     bool quiet = false;
 
@@ -109,6 +127,20 @@ int main(int argc, char** argv) {
             framed = true;
         } else if (arg == "--stats-json") {
             stats_json_path = next_value("--stats-json");
+        } else if (arg == "--trace-json") {
+            trace_json_path = next_value("--trace-json");
+        } else if (arg == "--trace-clock") {
+            const std::string mode = next_value("--trace-clock");
+            if (mode == "wall") {
+                trace_clock = obs::trace_clock_mode::wall;
+            } else if (mode == "virtual") {
+                trace_clock = obs::trace_clock_mode::virtual_;
+            } else {
+                std::fprintf(stderr, "--trace-clock must be wall or virtual\n");
+                return 2;
+            }
+        } else if (arg == "--slo") {
+            slo_text = next_value("--slo");
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -119,6 +151,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--workers must be positive (or give --endpoint)\n");
         return 2;
     }
+
+    obs::slo_spec slo;
+    if (!slo_text.empty()) {
+        std::string error;
+        if (!obs::parse_slo_spec(slo_text, &slo, &error)) {
+            std::fprintf(stderr, "bad --slo spec: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    const bool tracing = !trace_json_path.empty();
+    if (tracing) obs::tracer::instance().enable(trace_clock);
 
     opts.worker_argv = {worker_cmd, "--framed", "--quiet"};
     opts.worker_argv.insert(opts.worker_argv.end(), worker_extra_args.begin(),
@@ -144,16 +187,48 @@ int main(int argc, char** argv) {
         stats = gw.serve_stream(std::cin, std::cout, framed);
     }
 
+    // SLO verdict first (it feeds the stats JSON): evaluated against the
+    // worker round-trip latency, error rows over merged rows.
+    obs::slo_report slo_report;
+    if (!slo_text.empty()) {
+        obs::metrics_snapshot snap;
+        gw.contribute_metrics(snap, stats);
+        obs::log_histogram worker_rt;
+        for (const obs::histogram_entry& h : snap.histograms) {
+            if (h.name == "gateway.worker_rt_ns") worker_rt = h.hist;
+        }
+        slo_report = obs::evaluate_slo(slo, worker_rt, stats.errors, stats.rows);
+        std::fputs(obs::format_slo_report(slo_report, "# slo: ").c_str(), stderr);
+    }
+
     if (!stats_json_path.empty()) {
         obs::metrics_snapshot snap;
         gw.contribute_metrics(snap, stats);
-        std::ofstream out(stats_json_path);
-        if (!out) {
-            std::fprintf(stderr, "cannot open --stats-json file '%s'\n",
-                         stats_json_path.c_str());
+        if (tracing) {
+            obs::tracer& tr = obs::tracer::instance();
+            snap.set_counter("trace.spans_recorded", tr.spans_recorded());
+            snap.set_counter("trace.spans_dropped", tr.spans_dropped());
+        }
+        std::string error;
+        const std::string doc =
+            obs::stats_json(snap, slo_text.empty() ? nullptr : &slo_report) + "\n";
+        if (!write_file_atomic(stats_json_path, doc, &error)) {
+            std::fprintf(stderr, "cannot write --stats-json '%s': %s\n",
+                         stats_json_path.c_str(), error.c_str());
             return 1;
         }
-        out << obs::stats_json(snap) << '\n';
+    }
+
+    if (tracing) {
+        obs::tracer& tr = obs::tracer::instance();
+        const std::string doc =
+            obs::chrome_trace_json(tr.drain(), tr.spans_dropped());
+        std::string error;
+        if (!write_file_atomic(trace_json_path, doc, &error)) {
+            std::fprintf(stderr, "cannot write --trace-json '%s': %s\n",
+                         trace_json_path.c_str(), error.c_str());
+            return 1;
+        }
     }
 
     if (!quiet) {
@@ -167,5 +242,5 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(stats.worker_failures),
                      static_cast<unsigned long long>(stats.workers_respawned));
     }
-    return 0;
+    return slo_report.violated ? 1 : 0;
 }

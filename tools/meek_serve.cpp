@@ -25,12 +25,24 @@
 //                          concurrently (default 4)
 //   --stats-json PATH      after serving, write the session's observability
 //                          snapshot (meek.stats.v1: counters, gauges, and
-//                          per-stage latency histograms) as one JSON line
+//                          per-stage latency histograms) as one JSON line,
+//                          atomically (temp file + rename)
+//   --trace-json PATH      enable request tracing and, after serving, export
+//                          the span journal as Chrome trace-event JSON
+//                          (atomically; load in Perfetto / chrome://tracing)
+//   --trace-clock MODE     trace timestamps: wall (default) or virtual —
+//                          deterministic per-timeline ticks, byte-identical
+//                          exports at any thread count
+//   --slo SPEC             evaluate SPEC (e.g. "p99<=250us,error_rate<=1%")
+//                          against the session's end-to-end request latency
+//                          after serving: report to stderr, "slo" section in
+//                          --stats-json, exit 1 on violation
 //   --quiet                suppress the stderr session summary
 //
 // stdout carries only response rows — byte-identical for a given input at
-// any thread count — so it can be diffed against golden expectations; the
-// session summary (cache hit rate, job timing) goes to stderr.
+// any thread count, tracing on or off — so it can be diffed against golden
+// expectations; the session summary (cache hit rate, job timing) goes to
+// stderr.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,7 +50,10 @@
 #include <iostream>
 #include <string>
 
+#include "common/atomic_file.h"
+#include "obs/slo.h"
 #include "obs/stats_json.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "serve/transport.h"
 
@@ -51,7 +66,8 @@ int usage(const char* argv0) {
                  "usage: %s [--requests FILE | --listen ADDR] [--threads N] "
                  "[--cache-capacity N] [--outcome-capacity N] [--framed] "
                  "[--max-connections N] [--accept-threads N] "
-                 "[--stats-json PATH] [--quiet]\n",
+                 "[--stats-json PATH] [--trace-json PATH] "
+                 "[--trace-clock wall|virtual] [--slo SPEC] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -62,6 +78,9 @@ int main(int argc, char** argv) {
     std::string requests_file;
     std::string listen_spec;
     std::string stats_json_path;
+    std::string trace_json_path;
+    std::string slo_text;
+    obs::trace_clock_mode trace_clock = obs::trace_clock_mode::wall;
     serve::service_options opts;
     u64 max_connections = 0;
     u32 accept_threads = 4;
@@ -104,6 +123,20 @@ int main(int argc, char** argv) {
             opts.outcome_capacity = std::strtoul(arg.c_str() + 19, nullptr, 10);
         } else if (arg == "--stats-json") {
             stats_json_path = next_value("--stats-json");
+        } else if (arg == "--trace-json") {
+            trace_json_path = next_value("--trace-json");
+        } else if (arg == "--trace-clock") {
+            const std::string mode = next_value("--trace-clock");
+            if (mode == "wall") {
+                trace_clock = obs::trace_clock_mode::wall;
+            } else if (mode == "virtual") {
+                trace_clock = obs::trace_clock_mode::virtual_;
+            } else {
+                std::fprintf(stderr, "--trace-clock must be wall or virtual\n");
+                return 2;
+            }
+        } else if (arg == "--slo") {
+            slo_text = next_value("--slo");
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -115,6 +148,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--requests and --listen are mutually exclusive\n");
         return 2;
     }
+
+    obs::slo_spec slo;
+    if (!slo_text.empty()) {
+        std::string error;
+        if (!obs::parse_slo_spec(slo_text, &slo, &error)) {
+            std::fprintf(stderr, "bad --slo spec: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    const bool tracing = !trace_json_path.empty();
+    if (tracing) obs::tracer::instance().enable(trace_clock);
 
     serve::service svc(opts);
     serve::batch_stats stats;
@@ -161,6 +205,19 @@ int main(int argc, char** argv) {
         stats = svc.serve_stream(std::cin, std::cout, framed);
     }
 
+    // SLO verdict first (it feeds the stats JSON): evaluated against the
+    // session's end-to-end per-request latency, error rows over merged rows.
+    obs::slo_report slo_report;
+    if (!slo_text.empty()) {
+        obs::log_histogram request_latency;
+        for (const obs::histogram_entry& h : svc.stats_snapshot().histograms) {
+            if (h.name == "service.request_ns") request_latency = h.hist;
+        }
+        slo_report =
+            obs::evaluate_slo(slo, request_latency, stats.errors, stats.rows);
+        std::fputs(obs::format_slo_report(slo_report, "# slo: ").c_str(), stderr);
+    }
+
     if (!stats_json_path.empty()) {
         obs::metrics_snapshot snap = svc.stats_snapshot();
         if (listened) {
@@ -170,13 +227,31 @@ int main(int argc, char** argv) {
             snap.set_counter("connections.errors", conn_stats.errors);
             snap.set_counter("connections.jobs", conn_stats.jobs);
         }
-        std::ofstream out(stats_json_path);
-        if (!out) {
-            std::fprintf(stderr, "cannot open --stats-json file '%s'\n",
-                         stats_json_path.c_str());
+        if (tracing) {
+            obs::tracer& tr = obs::tracer::instance();
+            snap.set_counter("trace.spans_recorded", tr.spans_recorded());
+            snap.set_counter("trace.spans_dropped", tr.spans_dropped());
+        }
+        std::string error;
+        const std::string doc =
+            obs::stats_json(snap, slo_text.empty() ? nullptr : &slo_report) + "\n";
+        if (!write_file_atomic(stats_json_path, doc, &error)) {
+            std::fprintf(stderr, "cannot write --stats-json '%s': %s\n",
+                         stats_json_path.c_str(), error.c_str());
             return 1;
         }
-        out << obs::stats_json(snap) << '\n';
+    }
+
+    if (tracing) {
+        obs::tracer& tr = obs::tracer::instance();
+        const std::string doc =
+            obs::chrome_trace_json(tr.drain(), tr.spans_dropped());
+        std::string error;
+        if (!write_file_atomic(trace_json_path, doc, &error)) {
+            std::fprintf(stderr, "cannot write --trace-json '%s': %s\n",
+                         trace_json_path.c_str(), error.c_str());
+            return 1;
+        }
     }
 
     if (!quiet) {
@@ -214,5 +289,5 @@ int main(int argc, char** argv) {
                      ps.busy_ms(),
                      sched::backend_name(svc.pool().scheduler_backend()));
     }
-    return 0;
+    return slo_report.violated ? 1 : 0;
 }

@@ -27,7 +27,17 @@
 //                      mode)
 //   --stats-json PATH  write the sweep's observability snapshot (per-QPS
 //                      latency histograms + the service's own stats) as one
-//                      meek.stats.v1 JSON line
+//                      meek.stats.v1 JSON line, atomically (temp + rename)
+//   --slo SPEC         evaluate SPEC (e.g. "p99<=250us,error_rate<=0.1%")
+//                      at every QPS point — in virtual mode over sliding
+//                      arrival-time windows of the latency stream, so a bad
+//                      tail window cannot hide behind a good start — print
+//                      one serve_bench_slo: report per point, attach the
+//                      worst point's verdict to --stats-json, and exit 1
+//                      when any point violates
+//   --trace-json PATH  enable request tracing and export the span journal
+//                      as Chrome trace-event JSON after the run
+//   --trace-clock MODE trace timestamps: wall (default) or virtual
 //
 // Each QPS point prints one line:
 //   serve_bench_lat: mode=<virtual|wall> qps=.. requests=.. servers=..
@@ -45,17 +55,26 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/atomic_file.h"
 #include "obs/loadgen.h"
+#include "obs/slo.h"
 #include "obs/stats_json.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 
 using namespace meek;
 
 namespace {
 
+// Sliding windows per QPS point for the --slo evaluation: enough to expose
+// a degrading tail, few enough that each window keeps a useful sample count
+// at the default --load-requests.
+constexpr u32 k_slo_windows = 8;
+
 int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
                  const std::vector<u64>& qps_points, u64 load_requests, u64 seed,
-                 bool wall, const std::string& stats_json_path) {
+                 bool wall, const std::string& stats_json_path,
+                 const obs::slo_spec* slo) {
     // Resolve every template once through the real wire path: the outcome's
     // cycle count (1 cycle == 1 ns) is the deterministic service time the
     // virtual-time queue runs on.
@@ -72,6 +91,8 @@ int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
 
     const u32 servers = svc.pool().num_threads();
     obs::metrics_snapshot loadgen_snap;
+    obs::slo_report worst_slo;
+    bool any_slo = false;
 
     for (const u64 qps : qps_points) {
         const obs::arrival_schedule_config cfg{.qps = qps,
@@ -82,11 +103,13 @@ int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
         const std::vector<obs::arrival> arrivals = obs::build_arrival_schedule(cfg);
 
         obs::log_histogram lat;
+        std::vector<obs::log_histogram> windows;
         u64 completed = 0;
         if (!wall) {
-            obs::open_loop_result res =
-                obs::simulate_open_loop(arrivals, service_ns, servers);
+            obs::open_loop_result res = obs::simulate_open_loop(
+                arrivals, service_ns, servers, slo != nullptr ? k_slo_windows : 0);
             lat = std::move(res.latency_ns);
+            windows = std::move(res.window_latency);
             completed = res.completed;
         } else {
             // Open loop against the live service: each arrival fires at its
@@ -128,6 +151,26 @@ int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
             static_cast<unsigned long long>(lat.count() ? lat.max() : 0));
         loadgen_snap.add_histogram("loadgen.q" + std::to_string(qps) + ".latency_ns",
                                    lat);
+
+        if (slo != nullptr) {
+            // Virtual mode evaluates over the arrival-time windows (any bad
+            // window violates); wall mode has no deterministic windowing and
+            // treats the whole point as one window.
+            const obs::slo_report report =
+                windows.empty()
+                    ? obs::evaluate_slo(*slo, lat, /*errors=*/0, completed)
+                    : obs::evaluate_slo_windows(*slo, windows, /*errors=*/0,
+                                                completed);
+            const std::string prefix =
+                "serve_bench_slo: qps=" + std::to_string(qps) + " ";
+            std::fputs(obs::format_slo_report(report, prefix).c_str(), stdout);
+            if (!any_slo || (report.violated && !worst_slo.violated) ||
+                (report.violated == worst_slo.violated &&
+                 report.max_burn_rate > worst_slo.max_burn_rate)) {
+                worst_slo = report;
+            }
+            any_slo = true;
+        }
     }
 
     if (!stats_json_path.empty()) {
@@ -137,13 +180,28 @@ int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
         }
         snap.set_gauge("loadgen.servers", servers);
         snap.set_counter("loadgen.requests_per_point", load_requests);
-        std::ofstream out(stats_json_path);
-        if (!out) {
-            std::fprintf(stderr, "cannot open --stats-json file '%s'\n",
-                         stats_json_path.c_str());
+        std::string error;
+        const std::string doc =
+            obs::stats_json(snap, any_slo ? &worst_slo : nullptr) + "\n";
+        if (!write_file_atomic(stats_json_path, doc, &error)) {
+            std::fprintf(stderr, "cannot write --stats-json '%s': %s\n",
+                         stats_json_path.c_str(), error.c_str());
             return 1;
         }
-        out << obs::stats_json(snap) << '\n';
+    }
+    return any_slo && worst_slo.violated ? 1 : 0;
+}
+
+// Drain the tracer and write the catapult export; shared by both modes.
+int export_trace_json(const std::string& path) {
+    if (path.empty()) return 0;
+    obs::tracer& tr = obs::tracer::instance();
+    const std::string doc = obs::chrome_trace_json(tr.drain(), tr.spans_dropped());
+    std::string error;
+    if (!write_file_atomic(path, doc, &error)) {
+        std::fprintf(stderr, "cannot write --trace-json '%s': %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
     }
     return 0;
 }
@@ -161,6 +219,9 @@ int main(int argc, char** argv) {
     u64 load_requests = 200;
     std::vector<u64> qps_points;
     std::string stats_json_path;
+    std::string trace_json_path;
+    std::string slo_text;
+    obs::trace_clock_mode trace_clock = obs::trace_clock_mode::wall;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -217,16 +278,42 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--stats-json") {
             stats_json_path = next_string("--stats-json");
+        } else if (arg == "--trace-json") {
+            trace_json_path = next_string("--trace-json");
+        } else if (arg == "--trace-clock") {
+            const std::string mode = next_string("--trace-clock");
+            if (mode == "wall") {
+                trace_clock = obs::trace_clock_mode::wall;
+            } else if (mode == "virtual") {
+                trace_clock = obs::trace_clock_mode::virtual_;
+            } else {
+                std::fprintf(stderr, "--trace-clock must be wall or virtual\n");
+                return 2;
+            }
+        } else if (arg == "--slo") {
+            slo_text = next_string("--slo");
         } else {
             std::fprintf(stderr,
                          "usage: %s [--requests N] [--instructions N] [--threads N] "
                          "[--seed N] [--no-cache] [--load-gen] [--qps A,B,...] "
-                         "[--load-requests N] [--wall] [--stats-json PATH]\n",
+                         "[--load-requests N] [--wall] [--stats-json PATH] "
+                         "[--slo SPEC] [--trace-json PATH] "
+                         "[--trace-clock wall|virtual]\n",
                          argv[0]);
             return 2;
         }
     }
     if (!use_cache) opts.cache_capacity = 0;
+
+    obs::slo_spec slo;
+    if (!slo_text.empty()) {
+        std::string error;
+        if (!obs::parse_slo_spec(slo_text, &slo, &error)) {
+            std::fprintf(stderr, "bad --slo spec: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    if (!trace_json_path.empty()) obs::tracer::instance().enable(trace_clock);
 
     // The mixed batch: vanilla + an EA-LockStep point + four MEEK configs,
     // round-robined over profiles that stress different parts of the model
@@ -254,8 +341,11 @@ int main(int argc, char** argv) {
         }
         if (qps_points.empty()) qps_points.push_back(1000);
         serve::service svc(opts);
-        return run_load_gen(svc, mix_lines, qps_points, load_requests, seed, wall,
-                            stats_json_path);
+        const int rc =
+            run_load_gen(svc, mix_lines, qps_points, load_requests, seed, wall,
+                         stats_json_path, slo_text.empty() ? nullptr : &slo);
+        const int trace_rc = export_trace_json(trace_json_path);
+        return rc != 0 ? rc : trace_rc;
     }
 
     std::ostringstream batch;
@@ -320,5 +410,22 @@ int main(int argc, char** argv) {
     // The same '# sched:' stderr line fig6/fig7 emit, so serve-path steal
     // and inject-ring behaviour is visible in CI logs batch by batch.
     bench::print_scheduler_summary(svc.pool());
-    return errors == 0 ? 0 : 1;
+    if (const int trace_rc = export_trace_json(trace_json_path); trace_rc != 0) {
+        return trace_rc;
+    }
+    bool slo_violated = false;
+    if (!slo_text.empty()) {
+        // Single-batch mode has no windowed stream; the whole batch's
+        // end-to-end request latency is one window.
+        obs::log_histogram request_latency;
+        for (const obs::histogram_entry& h : svc.stats_snapshot().histograms) {
+            if (h.name == "service.request_ns") request_latency = h.hist;
+        }
+        const obs::slo_report report =
+            obs::evaluate_slo(slo, request_latency, errors, rows);
+        std::fputs(obs::format_slo_report(report, "serve_bench_slo: ").c_str(),
+                   stdout);
+        slo_violated = report.violated;
+    }
+    return errors == 0 && !slo_violated ? 0 : 1;
 }
