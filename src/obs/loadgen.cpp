@@ -1,6 +1,7 @@
 #include "obs/loadgen.h"
 
 #include <algorithm>
+#include <deque>
 #include <queue>
 
 namespace meek::obs {
@@ -37,7 +38,8 @@ std::vector<arrival> build_arrival_schedule(const arrival_schedule_config& cfg) 
 
 open_loop_result simulate_open_loop(const std::vector<arrival>& arrivals,
                                     std::span<const u64> service_ns_by_mix,
-                                    u32 servers, u32 window_count) {
+                                    u32 servers, u32 window_count,
+                                    open_loop_admission admission) {
     open_loop_result result;
     const u32 s = std::max<u32>(servers, 1);
     // Window assignment divides the arrival span, not completion times, so a
@@ -49,7 +51,21 @@ open_loop_result simulate_open_loop(const std::vector<arrival>& arrivals,
     using slot = std::pair<u64, u32>;  // (free at, server index)
     std::priority_queue<slot, std::vector<slot>, std::greater<>> free_at;
     for (u32 k = 0; k < s; ++k) free_at.emplace(0, k);
+    // Start times of admitted requests still waiting for a server. FIFO
+    // earliest-free assignment makes start times non-decreasing in arrival
+    // order, so the waiting set is a deque drained from the front.
+    std::deque<u64> waiting_start;
     for (const arrival& a : arrivals) {
+        if (admission.max_queue > 0) {
+            while (!waiting_start.empty() &&
+                   waiting_start.front() <= a.arrival_ns) {
+                waiting_start.pop_front();
+            }
+            if (waiting_start.size() >= admission.max_queue) {
+                ++result.shed;
+                continue;
+            }
+        }
         const u64 service_ns =
             service_ns_by_mix.empty()
                 ? 0
@@ -59,6 +75,9 @@ open_loop_result simulate_open_loop(const std::vector<arrival>& arrivals,
         const u64 start_ns = std::max(free_ns, a.arrival_ns);
         const u64 done_ns = start_ns + service_ns;
         free_at.emplace(done_ns, server);
+        if (admission.max_queue > 0 && start_ns > a.arrival_ns) {
+            waiting_start.push_back(start_ns);
+        }
         result.latency_ns.record(done_ns - a.arrival_ns);
         if (window_count > 0) {
             const u64 w = std::min<u64>(a.arrival_ns * window_count / span_ns,

@@ -47,7 +47,8 @@ std::vector<arrival> build_arrival_schedule(const arrival_schedule_config& cfg);
 
 struct open_loop_result {
     log_histogram latency_ns;  // completion - scheduled arrival, per request
-    u64 completed = 0;
+    u64 completed = 0;    // admitted and served requests
+    u64 shed = 0;         // arrivals rejected by the admission model
     u64 makespan_ns = 0;  // last completion, relative to the schedule start
     // With window_count > 0: latency split into equal arrival-time windows
     // (request's window = arrival_ns * count / (last arrival + 1) — a pure
@@ -55,12 +56,25 @@ struct open_loop_result {
     std::vector<log_histogram> window_latency;
 };
 
+// Virtual-time admission model for the open-loop simulator: with max_queue
+// > 0, an arrival that would find `max_queue` requests already waiting
+// (started-but-unfinished requests occupy servers, not the queue) is shed —
+// counted, never served, never recorded in the latency histograms. This is
+// the queue-depth half of serve::admission_controller projected into virtual
+// time, so overload sweeps can pin "admission keeps the admitted tail
+// bounded while shedding the excess" byte-for-byte in CI.
+struct open_loop_admission {
+    u64 max_queue = 0;  // waiting-request cap (0 = admit everything)
+};
+
 // Deterministic S-server FIFO queue in virtual time. `service_ns_by_mix[m]`
 // is the service time of template m; every arrival's mix_index must index it.
 // `window_count` > 0 additionally buckets latencies into that many
-// arrival-time windows (see open_loop_result::window_latency).
+// arrival-time windows (see open_loop_result::window_latency). `admission`
+// bounds the virtual queue depth; shed arrivals count toward `shed` only.
 open_loop_result simulate_open_loop(const std::vector<arrival>& arrivals,
                                     std::span<const u64> service_ns_by_mix,
-                                    u32 servers, u32 window_count = 0);
+                                    u32 servers, u32 window_count = 0,
+                                    open_loop_admission admission = {});
 
 }  // namespace meek::obs

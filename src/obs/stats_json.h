@@ -18,7 +18,10 @@
 // sorted by name, bucket rows by bucket index.
 // An optional "slo" section (see obs/slo.h) rides after "histograms" when a
 // tool was started with an --slo spec; absent otherwise, so existing
-// consumers are untouched.
+// consumers are untouched. An optional "admission" section (a pre-serialized
+// object from serve::admission_controller::to_json — limits, live scale and
+// backlog, shed ledger) rides after "slo" the same way when a tool enables
+// admission control.
 #pragma once
 
 #include <string>
@@ -32,8 +35,11 @@ namespace meek::obs {
 std::string histogram_json(const log_histogram& h);
 
 // The whole snapshot as one single-line JSON document. With a non-null
-// `slo`, the document gains an "slo" member holding slo_json(*slo).
+// `slo`, the document gains an "slo" member holding slo_json(*slo); with a
+// non-null `admission_json`, an "admission" member holding that fragment
+// verbatim (it must be a complete JSON object).
 std::string stats_json(const metrics_snapshot& snap,
-                       const slo_report* slo = nullptr);
+                       const slo_report* slo = nullptr,
+                       const std::string* admission_json = nullptr);
 
 }  // namespace meek::obs

@@ -1,0 +1,238 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "serve/json.h"
+
+namespace meek::serve {
+
+namespace {
+
+u64 steady_now_ns() {
+    return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now().time_since_epoch())
+                                .count());
+}
+
+}  // namespace
+
+u64 admission_controller::effective(u64 limit) const {
+    if (limit == 0) return 0;
+    u64 scaled = static_cast<u64>(static_cast<double>(limit) * scale_);
+    return std::max<u64>(scaled, 1);
+}
+
+admission_controller::decision admission_controller::admit_line(u64 line_bytes,
+                                                                u64 estimated_jobs,
+                                                                u64 now_ns) {
+    std::lock_guard lock(mutex_);
+    if (!opts_.enabled) {
+        ++stats_.admitted;
+        queued_lines_ += 1;
+        queued_bytes_ += line_bytes;
+        return {};
+    }
+
+    decision shed;
+    shed.admit = false;
+    // Scale the resubmit hint with pressure: a tightened service (scale < 1)
+    // wants clients backing off longer, not hammering the floor.
+    shed.retry_after_ms =
+        static_cast<u64>(std::ceil(static_cast<double>(opts_.retry_after_ms) / scale_));
+
+    // A line's fan-out counts against the in-flight cap before its jobs are
+    // actually submitted, else N lines race past a nearly-full executor.
+    if (u64 cap = effective(opts_.max_inflight_jobs);
+        cap != 0 && inflight_jobs_ + estimated_jobs > cap && inflight_jobs_ > 0) {
+        ++stats_.shed;
+        ++stats_.shed_inflight;
+        shed.reason = "inflight";
+        return shed;
+    }
+    if (u64 cap = effective(opts_.max_queue_lines); cap != 0 && queued_lines_ >= cap) {
+        ++stats_.shed;
+        ++stats_.shed_queue_lines;
+        shed.reason = "queue_lines";
+        return shed;
+    }
+    if (u64 cap = effective(opts_.max_queue_bytes);
+        cap != 0 && queued_bytes_ + line_bytes > cap && queued_bytes_ > 0) {
+        ++stats_.shed;
+        ++stats_.shed_queue_bytes;
+        shed.reason = "queue_bytes";
+        return shed;
+    }
+    if (opts_.line_rate > 0.0) {
+        if (now_ns == 0) now_ns = steady_now_ns();
+        double burst = static_cast<double>(std::max<u64>(opts_.line_burst, 1)) * scale_;
+        burst = std::max(burst, 1.0);
+        if (tokens_ < 0.0) {
+            tokens_ = burst;  // bucket starts full
+        } else if (now_ns > last_refill_ns_) {
+            double dt_s = static_cast<double>(now_ns - last_refill_ns_) * 1e-9;
+            tokens_ = std::min(burst, tokens_ + dt_s * opts_.line_rate * scale_);
+        }
+        last_refill_ns_ = now_ns;
+        if (tokens_ < 1.0) {
+            ++stats_.shed;
+            ++stats_.shed_line_rate;
+            shed.reason = "line_rate";
+            return shed;
+        }
+        tokens_ -= 1.0;
+    }
+
+    ++stats_.admitted;
+    queued_lines_ += 1;
+    queued_bytes_ += line_bytes;
+    return {};
+}
+
+void admission_controller::retire_line(u64 line_bytes) {
+    std::lock_guard lock(mutex_);
+    if (queued_lines_ > 0) --queued_lines_;
+    queued_bytes_ -= std::min(queued_bytes_, line_bytes);
+}
+
+void admission_controller::jobs_started(u64 n) {
+    std::lock_guard lock(mutex_);
+    inflight_jobs_ += n;
+}
+
+void admission_controller::jobs_finished(u64 n) {
+    std::lock_guard lock(mutex_);
+    inflight_jobs_ -= std::min(inflight_jobs_, n);
+}
+
+void admission_controller::note_batch_overflow(u64 lines) {
+    if (lines == 0) return;
+    std::lock_guard lock(mutex_);
+    stats_.shed += lines;
+    stats_.shed_batch_limit += lines;
+}
+
+void admission_controller::observe_burn_rate(double burn_rate) {
+    std::lock_guard lock(mutex_);
+    if (!opts_.enabled) return;
+    if (burn_rate > 1.0) {
+        double next = std::max(scale_ * opts_.tighten_factor, opts_.min_scale);
+        if (next < scale_) {
+            scale_ = next;
+            ++stats_.slo_tightenings;
+        }
+    } else if (scale_ < 1.0) {
+        scale_ = std::min(scale_ * opts_.recover_factor, 1.0);
+        ++stats_.slo_recoveries;
+    }
+}
+
+u64 admission_controller::inflight_jobs() const {
+    std::lock_guard lock(mutex_);
+    return inflight_jobs_;
+}
+
+u64 admission_controller::queued_lines() const {
+    std::lock_guard lock(mutex_);
+    return queued_lines_;
+}
+
+u64 admission_controller::queued_bytes() const {
+    std::lock_guard lock(mutex_);
+    return queued_bytes_;
+}
+
+double admission_controller::scale() const {
+    std::lock_guard lock(mutex_);
+    return scale_;
+}
+
+admission_stats admission_controller::stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+}
+
+void admission_controller::contribute_metrics(obs::metrics_snapshot& snap) const {
+    admission_stats s;
+    u64 inflight, qlines, qbytes;
+    double scale;
+    bool enabled;
+    {
+        std::lock_guard lock(mutex_);
+        s = stats_;
+        inflight = inflight_jobs_;
+        qlines = queued_lines_;
+        qbytes = queued_bytes_;
+        scale = scale_;
+        enabled = opts_.enabled;
+    }
+    snap.set_counter("admission.admitted", s.admitted);
+    snap.set_counter("admission.shed", s.shed);
+    snap.set_counter("admission.shed_inflight", s.shed_inflight);
+    snap.set_counter("admission.shed_queue_lines", s.shed_queue_lines);
+    snap.set_counter("admission.shed_queue_bytes", s.shed_queue_bytes);
+    snap.set_counter("admission.shed_line_rate", s.shed_line_rate);
+    snap.set_counter("admission.shed_batch_limit", s.shed_batch_limit);
+    snap.set_counter("admission.slo_tightenings", s.slo_tightenings);
+    snap.set_counter("admission.slo_recoveries", s.slo_recoveries);
+    snap.set_gauge("admission.enabled", enabled ? 1 : 0);
+    snap.set_gauge("admission.inflight_jobs", inflight);
+    snap.set_gauge("admission.queued_lines", qlines);
+    snap.set_gauge("admission.queued_bytes", qbytes);
+    // scale is in (0, 1]; export in parts-per-million so the integer gauge
+    // keeps enough resolution to watch recovery climb.
+    snap.set_gauge("admission.scale_ppm", static_cast<u64>(scale * 1e6));
+}
+
+std::string admission_controller::to_json() const {
+    admission_options o;
+    admission_stats s;
+    u64 inflight, qlines, qbytes;
+    double scale;
+    {
+        std::lock_guard lock(mutex_);
+        o = opts_;
+        s = stats_;
+        inflight = inflight_jobs_;
+        qlines = queued_lines_;
+        qbytes = queued_bytes_;
+        scale = scale_;
+    }
+    json_object_writer w;
+    w.field("enabled", o.enabled);
+    {
+        json_object_writer limits;
+        limits.field("max_inflight_jobs", o.max_inflight_jobs);
+        limits.field("max_queue_lines", o.max_queue_lines);
+        limits.field("max_queue_bytes", o.max_queue_bytes);
+        limits.field_fixed("line_rate", o.line_rate, 3);
+        limits.field("line_burst", o.line_burst);
+        limits.field("retry_after_ms", o.retry_after_ms);
+        w.field_raw("limits", limits.str());
+    }
+    w.field_fixed("scale", scale, 6);
+    {
+        json_object_writer live;
+        live.field("inflight_jobs", inflight);
+        live.field("queued_lines", qlines);
+        live.field("queued_bytes", qbytes);
+        w.field_raw("live", live.str());
+    }
+    {
+        json_object_writer shed;
+        shed.field("admitted", s.admitted);
+        shed.field("shed", s.shed);
+        shed.field("inflight", s.shed_inflight);
+        shed.field("queue_lines", s.shed_queue_lines);
+        shed.field("queue_bytes", s.shed_queue_bytes);
+        shed.field("line_rate", s.shed_line_rate);
+        shed.field("batch_limit", s.shed_batch_limit);
+        shed.field("slo_tightenings", s.slo_tightenings);
+        shed.field("slo_recoveries", s.slo_recoveries);
+        w.field_raw("ledger", shed.str());
+    }
+    return w.str();
+}
+
+}  // namespace meek::serve

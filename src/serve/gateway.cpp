@@ -5,10 +5,12 @@
 #include <chrono>
 #include <cstdio>
 #include <istream>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <thread>
 
+#include "common/log.h"
 #include "obs/trace.h"
 #include "sched/placement.h"
 #include "serve/protocol.h"
@@ -120,7 +122,7 @@ struct gateway::worker {
     }
 };
 
-gateway::gateway(const gateway_options& opts) : opts_(opts) {
+gateway::gateway(const gateway_options& opts) : opts_(opts), admission_(opts.admission) {
     if (!opts_.endpoints.empty()) {
         for (const endpoint_address& addr : opts_.endpoints) {
             auto w = std::make_unique<worker>();
@@ -212,6 +214,15 @@ std::size_t gateway::revive_workers() {
 
 std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines,
                                            gateway_stats* stats) {
+    std::vector<std::string> out;
+    evaluate_streamed(lines, stats, [&out](std::vector<std::string>&& rows) {
+        for (std::string& row : rows) out.push_back(std::move(row));
+    });
+    return out;
+}
+
+void gateway::evaluate_streamed(const std::vector<std::string>& lines,
+                                gateway_stats* stats, const row_sink& sink) {
     const std::size_t num_workers = workers_.size();
     const std::size_t revived = revive_workers();
     const std::size_t failed_before = num_workers - alive_workers();
@@ -227,9 +238,39 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
         u64 rows_received = 0;
         u64 error_rows = 0;
         bool settled_by_error = false;
+        // Streaming emit state: `settled` = every row the request will ever
+        // get is in `rows` (worker answered past it, or settled locally);
+        // `emitted` = the sink took them.
+        bool settled = false;
+        bool emitted = false;
         std::vector<std::pair<u64, std::string>> rows;  // (repeat, final line)
     };
     std::vector<request_state> requests(lines.size());
+
+    // The reorder window over requests: the sink takes request g's rows once
+    // requests 0..g-1 are out and g has settled. Reader threads advance it
+    // concurrently; `emit_mutex` serializes both the window state and the
+    // sink itself. Buffered mode is the degenerate case where everything
+    // settles before the single final drain.
+    std::mutex emit_mutex;
+    std::size_t next_emit = 0;
+    u64 emitted_rows = 0;
+    const auto drain = [&] {  // emit_mutex held
+        while (next_emit < requests.size() && requests[next_emit].settled) {
+            request_state& rs = requests[next_emit];
+            std::stable_sort(
+                rs.rows.begin(), rs.rows.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+            std::vector<std::string> batch;
+            batch.reserve(rs.rows.size());
+            for (auto& [repeat, line] : rs.rows) batch.push_back(std::move(line));
+            rs.rows.clear();
+            emitted_rows += batch.size();
+            rs.emitted = true;
+            ++next_emit;
+            sink(std::move(batch));
+        }
+    };
 
     // Tracing, resolved once per batch: the gateway is the outermost entry
     // point, so each line gets a root "gateway.request" span (trace adopted
@@ -258,14 +299,37 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
     // single-process service would emit.
     std::vector<double> costs(lines.size(), 0.0);
     std::vector<bool> settled_locally(lines.size(), false);
+    std::vector<u64> admitted_bytes;  // queue accounting to retire at the end
+    u64 shed = 0;
     for (std::size_t i = 0; i < lines.size(); ++i) {
         request_state& rs = requests[i];
         const parsed_request parsed = parse_request(strip_cr(lines[i]));
+        bool line_shed = false;
         if (parsed.ok()) {
             rs.id = parsed.request.id;
             rs.repeats = parsed.request.repeats;
+            // Admission gate, at parse time: a shed line settles locally with
+            // one overloaded row and is never forwarded — rejected work must
+            // not spend worker capacity. Lines that do not parse are free
+            // (the worker answers them with one error row, no simulation),
+            // and stats probes stay free for the same reason as in
+            // serve::service.
+            const admission_controller::decision gate =
+                admission_.admit_line(lines[i].size(), rs.repeats);
+            if (!gate.admit) {
+                rs.settled_by_error = true;
+                rs.settled = true;
+                ++rs.error_rows;
+                ++shed;
+                rs.rows.emplace_back(
+                    0, to_json(overloaded_row(i, gate.retry_after_ms, rs.id)));
+                settled_locally[i] = true;
+                line_shed = true;
+            } else {
+                admitted_bytes.push_back(lines[i].size());
+            }
         }
-        costs[i] = line_cost(parsed);
+        if (!line_shed) costs[i] = line_cost(parsed);
         if (tracing) {
             line_trace& lt = line_traces[i];
             u64 trace_id = 0;
@@ -289,6 +353,7 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
             err.request_index = i;
             err.error = parsed.error;  // "bad json: ...", as the worker would say
             rs.settled_by_error = true;
+            rs.settled = true;
             ++rs.error_rows;
             rs.rows.emplace_back(0, to_json(err));
             settled_locally[i] = true;
@@ -334,16 +399,29 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
         }
     }
 
+    // Requests settled locally (blank lines, admission shed) at the head of
+    // the batch can stream out before any worker responds.
+    {
+        std::lock_guard lock(emit_mutex);
+        drain();
+    }
+
     // Fan the sub-batches out, one thread per live worker: write the framed
-    // sub-batch, then read rows until the blank end-of-batch marker. Workers
-    // complete in any order; per-worker row buckets keep the merge phase
-    // deterministic.
-    std::vector<std::vector<std::string>> received(num_workers);
+    // sub-batch, then read rows until the blank end-of-batch marker. Each
+    // row is credited to its request as it arrives — remap the worker-local
+    // index, rewrite it in the raw line, bucket by (global request, repeat)
+    // — and, since a worker answers its sub-batch in order, a row for local
+    // index j settles every owned request before j; the marker settles them
+    // all. Settling advances the emit window, so completed requests stream
+    // while other workers are still computing. A row that does not parse or
+    // points outside the sub-batch means the stream is not trustworthy
+    // beyond this point — fail the worker and let the slot synthesis below
+    // cover whatever it still owed.
     std::vector<std::thread> threads;
     for (std::size_t k = 0; k < num_workers; ++k) {
         if (owned[k].empty() || workers_[k]->failed) continue;
-        threads.emplace_back([this, k, &owned, &wire_lines, &received, tracing,
-                              &line_traces, &tracer] {
+        threads.emplace_back([this, k, &owned, &wire_lines, &requests, tracing,
+                              &line_traces, &tracer, &emit_mutex, &drain] {
             worker& w = *workers_[k];
             std::iostream& io = *w.io();
             const auto rt_start = std::chrono::steady_clock::now();
@@ -370,9 +448,22 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
                 w.fail("write to worker failed");
                 return;
             }
+            // Local indices < settled_upto have every row they will get.
+            std::size_t settled_upto = 0;
+            const auto settle_to = [&](std::size_t local_end) {  // emit_mutex held
+                for (; settled_upto < local_end && settled_upto < owned[k].size();
+                     ++settled_upto) {
+                    requests[owned[k][settled_upto]].settled = true;
+                }
+            };
             std::string line;
             while (std::getline(io, line)) {
                 if (is_blank_line(line)) {  // end-of-batch marker
+                    {
+                        std::lock_guard lock(emit_mutex);
+                        settle_to(owned[k].size());
+                        drain();
+                    }
                     note_rt();
                     if (tracing) {
                         for (const std::size_t g : owned[k]) {
@@ -389,51 +480,51 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
                     }
                     return;
                 }
-                received[k].emplace_back(strip_cr(line));
+                std::string raw{strip_cr(line)};
+                const std::optional<response_row> row = parse_response(raw);
+                if (!row || row->request_index >= owned[k].size()) {
+                    w.fail("desynced response stream");
+                    return;
+                }
+                const std::size_t g = owned[k][row->request_index];
+                if (!rewrite_request_index(&raw, g)) {
+                    w.fail("desynced response stream");
+                    return;
+                }
+                std::lock_guard lock(emit_mutex);
+                settle_to(row->request_index);
+                request_state& rs = requests[g];
+                ++rs.rows_received;
+                if (!row->error.empty()) {
+                    rs.settled_by_error = true;
+                    ++rs.error_rows;
+                    ++w.error_rows;
+                }
+                rs.rows.emplace_back(row->repeat, std::move(raw));
+                drain();
             }
             w.fail("EOF before end-of-batch marker");
         });
     }
     for (std::thread& t : threads) t.join();
 
-    // Credit every received row to its request: remap the worker-local index,
-    // rewrite it in the raw line, and bucket by (global request, repeat). A
-    // row that does not parse or points outside the worker's sub-batch means
-    // the stream is not trustworthy beyond this point — treat it as a worker
-    // failure and let the slot synthesis below cover the remainder.
-    for (std::size_t k = 0; k < num_workers; ++k) {
-        for (std::string& raw : received[k]) {
-            const std::optional<response_row> row = parse_response(raw);
-            if (!row || row->request_index >= owned[k].size()) {
-                workers_[k]->fail("desynced response stream");
-                break;
-            }
-            const std::size_t g = owned[k][row->request_index];
-            std::string line = std::move(raw);
-            if (!rewrite_request_index(&line, g)) {
-                workers_[k]->fail("desynced response stream");
-                break;
-            }
-            request_state& rs = requests[g];
-            ++rs.rows_received;
-            if (!row->error.empty()) {
-                rs.settled_by_error = true;
-                ++rs.error_rows;
-                ++workers_[k]->error_rows;
-            }
-            rs.rows.emplace_back(row->repeat, std::move(line));
-        }
-    }
-
     // Fill the slots a failed worker still owed: one error row per missing
     // (request, repeat), in place, so the batch shape survives any worker
     // dying — the contract that makes the gateway safe to put in front of a
-    // long-running campaign.
+    // long-running campaign. Requests that already settled (or streamed out)
+    // are complete by construction and untouched.
     for (std::size_t g = 0; g < requests.size(); ++g) {
         request_state& rs = requests[g];
-        if (rs.settled_by_error) continue;
+        if (rs.emitted || rs.settled) continue;
+        if (rs.settled_by_error) {
+            rs.settled = true;  // its single error row arrived; nothing owed
+            continue;
+        }
         const bool owner_failed = num_workers == 0 || workers_[rs.owner]->failed;
-        if (!owner_failed) continue;
+        if (!owner_failed) {
+            rs.settled = true;  // defensive: a live owner's marker settled it
+            continue;
+        }
         // A desynced stream can also carry duplicate or out-of-range repeat
         // indices; keep the first row per valid slot and drop the rest, so
         // the one-row-per-(request, repeat) shape holds no matter what the
@@ -460,18 +551,16 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
             if (num_workers > 0) ++workers_[rs.owner]->error_rows;
             rs.rows.emplace_back(r, to_json(err));
         }
+        rs.settled = true;
     }
 
-    // Merge in global (request, repeat) order.
-    std::vector<std::string> out;
+    // Final drain: everything has settled, so this flushes the remainder of
+    // the window in global (request, repeat) order.
     u64 error_rows = 0;
-    for (request_state& rs : requests) {
-        error_rows += rs.error_rows;
-        std::stable_sort(rs.rows.begin(), rs.rows.end(),
-                         [](const auto& a, const auto& b) { return a.first < b.first; });
-        for (auto& [repeat, line] : rs.rows) {
-            out.push_back(std::move(line));
-        }
+    {
+        std::lock_guard lock(emit_mutex);
+        drain();
+        for (const request_state& rs : requests) error_rows += rs.error_rows;
     }
 
     // Close every line's root span now that its rows are merged.
@@ -483,28 +572,85 @@ std::vector<std::string> gateway::evaluate(const std::vector<std::string>& lines
         }
     }
 
+    for (const u64 bytes : admitted_bytes) admission_.retire_line(bytes);
+    total_errors_ += error_rows;
+    total_rows_ += emitted_rows;
     if (stats) {
         stats->requests += lines.size();
-        stats->rows += out.size();
+        stats->rows += emitted_rows;
         stats->errors += error_rows;
+        stats->shed += shed;
         stats->workers_respawned += revived;
         // Only failures that happened during this batch; a worker lost
         // earlier in the session was already counted.
         stats->worker_failures += (num_workers - alive_workers()) - failed_before;
     }
-    return out;
 }
 
 bool gateway::serve_batch(std::istream& in, std::ostream& out, gateway_stats* stats,
                           bool framed) {
-    const std::vector<std::string> lines = read_batch_lines(in);
-    if (lines.empty()) return false;
-    for (const std::string& row : evaluate(lines, stats)) {
-        out << row << '\n';
+    const batch_read batch = read_batch(in, opts_.limits);
+    if (batch.stream_error) {
+        if (stats) stats->stream_errors += 1;
+        MEEK_LOG(warn,
+                 "gateway: input stream died (I/O error, not EOF) after %zu lines",
+                 batch.lines.size());
     }
-    if (framed) out << '\n';
-    out.flush();
-    return true;
+    if (batch.empty()) return false;
+
+    bool aborted = false;
+    const auto write_rows = [&](std::vector<std::string>&& rows) {
+        if (aborted) return;
+        for (const std::string& row : rows) {
+            out << row << '\n';
+            if (!out) {  // client hung up mid-response
+                aborted = true;
+                if (stats) stats->client_aborts += 1;
+                MEEK_LOG(warn, "gateway: client aborted mid-response");
+                return;
+            }
+        }
+        if (opts_.streaming && !rows.empty()) out.flush();
+    };
+
+    if (opts_.streaming) {
+        evaluate_streamed(batch.lines, stats, write_rows);
+    } else {
+        std::vector<std::string> rows = evaluate(batch.lines, stats);
+        write_rows(std::move(rows));
+    }
+
+    // Batch-cap overflow tail: in-slot overloaded rows past the evaluated
+    // indices, exactly as serve::service settles them.
+    if (batch.overflow_lines > 0) {
+        const u64 retry = admission_.options().retry_after_ms;
+        std::vector<std::string> tail;
+        tail.reserve(batch.overflow_lines);
+        for (u64 k = 0; k < batch.overflow_lines; ++k) {
+            tail.push_back(to_json(overloaded_row(batch.lines.size() + k, retry)));
+        }
+        write_rows(std::move(tail));
+        admission_.note_batch_overflow(batch.overflow_lines);
+        total_rows_ += batch.overflow_lines;
+        total_errors_ += batch.overflow_lines;
+        if (stats) {
+            stats->requests += batch.overflow_lines;
+            stats->rows += batch.overflow_lines;
+            stats->errors += batch.overflow_lines;
+            stats->shed += batch.overflow_lines;
+        }
+    }
+
+    if (!aborted) {
+        if (framed) out << '\n';
+        out.flush();
+        if (!out) {
+            aborted = true;
+            if (stats) stats->client_aborts += 1;
+        }
+    }
+    slo_feedback_tick();
+    return !aborted && !batch.stream_error;
 }
 
 gateway_stats gateway::serve_stream(std::istream& in, std::ostream& out, bool framed) {
@@ -514,6 +660,16 @@ gateway_stats gateway::serve_stream(std::istream& in, std::ostream& out, bool fr
     return total;
 }
 
+void gateway::slo_feedback_tick() {
+    if (opts_.slo_feedback.clauses.empty() || !admission_.enabled()) return;
+    std::lock_guard lock(slo_mutex_);
+    slo_monitor_.observe(worker_rt_ns_.snapshot());
+    const std::vector<obs::log_histogram> windows = slo_monitor_.windows();
+    const obs::slo_report report = obs::evaluate_slo_windows(
+        opts_.slo_feedback, windows, total_errors_, total_rows_);
+    admission_.observe_burn_rate(report.max_burn_rate);
+}
+
 void gateway::contribute_metrics(obs::metrics_snapshot& snap,
                                  const gateway_stats& totals) const {
     snap.set_counter("gateway.requests", totals.requests);
@@ -521,6 +677,10 @@ void gateway::contribute_metrics(obs::metrics_snapshot& snap,
     snap.set_counter("gateway.errors", totals.errors);
     snap.set_counter("gateway.worker_failures", totals.worker_failures);
     snap.set_counter("gateway.workers_respawned", totals.workers_respawned);
+    snap.set_counter("gateway.shed", totals.shed);
+    snap.set_counter("gateway.stream_errors", totals.stream_errors);
+    snap.set_counter("gateway.client_aborts", totals.client_aborts);
+    admission_.contribute_metrics(snap);
     snap.set_gauge("gateway.workers", workers_.size());
     snap.set_gauge("gateway.workers_alive", alive_workers());
     snap.add_histogram("gateway.worker_rt_ns", worker_rt_ns_.snapshot());

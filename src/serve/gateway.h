@@ -37,15 +37,36 @@
 // The gateway never simulates and never inspects outcome fields — protocol
 // framing, cost estimation, sharding, index rewriting, order-preserving
 // merge.
+// Streaming mode (gateway_options.streaming): serve_batch emits each
+// request's merged rows as soon as that request *settles* — its worker has
+// answered every row it owes (workers answer their sub-batches in order, so
+// a row for a later sub-batch line settles every earlier one) or it was
+// settled locally (blank line, admission shed) — advancing a global prefix
+// window so the byte stream stays identical to the buffered path; shed rows
+// at the head of the batch go out before any worker responds.
+//
+// Overload behavior mirrors serve::service: with admission configured, each
+// parseable line is offered to the admission_controller at parse time and a
+// shed line settles locally with one in-slot overloaded row (it is never
+// forwarded — an overloaded front-end must not spend worker capacity on work
+// it is rejecting). Worker-emitted "overloaded" rows pass through untouched,
+// like every other error row. The per-batch buffering caps and the
+// SLO-feedback loop (burn rate over the worker round-trip histogram) work as
+// in serve::service.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
 #include "serve/transport.h"
 
 namespace meek::serve {
@@ -59,6 +80,15 @@ struct gateway_options {
 
     // Remote workers: framed socket endpoints, one worker each.
     std::vector<endpoint_address> endpoints;
+
+    batch_limits limits;          // per-batch line/byte buffering caps
+    admission_options admission;  // front-end admission control (default off;
+                                  // the in-flight-jobs cap is inert here —
+                                  // the gateway runs no jobs of its own)
+    bool streaming = false;       // per-settled-request row emission
+    // Nonempty clauses => after each batch the worker round-trip burn rate
+    // against this spec feeds admission (tighten on violation, recover).
+    obs::slo_spec slo_feedback;
 };
 
 struct gateway_stats {
@@ -67,6 +97,9 @@ struct gateway_stats {
     u64 errors = 0;            // error rows among them (worker + protocol errors)
     u64 worker_failures = 0;   // workers that died or desynced mid-batch
     u64 workers_respawned = 0; // failed workers revived between batches
+    u64 shed = 0;              // lines settled locally with overloaded rows
+    u64 stream_errors = 0;     // batches whose input stream died (in.bad())
+    u64 client_aborts = 0;     // batches whose output stream died mid-response
 };
 
 class gateway {
@@ -86,12 +119,25 @@ public:
     std::vector<std::string> evaluate(const std::vector<std::string>& lines,
                                       gateway_stats* stats = nullptr);
 
+    // The streaming variant: `sink` receives each request's merged rows the
+    // moment the global prefix up to it has settled — possibly from a worker
+    // reader thread, serialized under an internal mutex. Concatenating every
+    // sink call reproduces evaluate()'s return byte for byte.
+    using row_sink = std::function<void(std::vector<std::string>&&)>;
+    void evaluate_streamed(const std::vector<std::string>& lines,
+                           gateway_stats* stats, const row_sink& sink);
+
     // Stream plumbing mirroring serve::service: blank-line framed batches in,
     // merged rows out (plus a blank terminator per batch when `framed`).
+    // Returns false when the connection is finished (input exhausted, input
+    // stream error, or the client aborted mid-response).
     bool serve_batch(std::istream& in, std::ostream& out,
                      gateway_stats* stats = nullptr, bool framed = false);
     gateway_stats serve_stream(std::istream& in, std::ostream& out,
                                bool framed = false);
+
+    const admission_controller& admission() const { return admission_; }
+    admission_controller& admission() { return admission_; }
 
     // Pour the gateway's observability into `snap`: the session totals as
     // gateway.* counters, the per-sub-batch worker round-trip latency
@@ -110,8 +156,17 @@ private:
     // then respawn/reconnect every failed worker. Returns how many revived.
     std::size_t revive_workers();
 
+    // Feed the latest worker round-trip window's burn rate into admission.
+    void slo_feedback_tick();
+
     gateway_options opts_;
     std::vector<std::unique_ptr<worker>> workers_;
+    admission_controller admission_;
+    std::mutex slo_mutex_;
+    obs::slo_window_monitor slo_monitor_;
+    // Session error/row totals for the slo error_rate clause.
+    u64 total_errors_ = 0;
+    u64 total_rows_ = 0;
     // Worker sub-batch round-trip latency; recorded concurrently by the
     // per-worker fan-out threads, hence the atomic variant.
     obs::atomic_log_histogram worker_rt_ns_;

@@ -20,17 +20,39 @@ bool is_blank_line(std::string_view line) {
     return true;
 }
 
-std::vector<std::string> read_batch_lines(std::istream& in) {
-    std::vector<std::string> lines;
+batch_read read_batch(std::istream& in, const batch_limits& limits) {
+    batch_read out;
+    u64 bytes = 0;
     std::string line;
+    // getline on a throwing streambuf (a failing transport) sets badbit and
+    // swallows the exception by default; in.bad() below catches both that
+    // and a streambuf that signalled the error state directly.
     while (std::getline(in, line)) {
         if (is_blank_line(line)) {
-            if (lines.empty()) continue;  // skip leading blank lines
-            break;                        // batch terminator
+            if (out.empty()) continue;  // skip leading blank lines
+            break;                      // batch terminator
         }
-        lines.emplace_back(strip_cr(line));
+        const std::string_view stripped = strip_cr(line);
+        // Once a cap is crossed every later line of the batch overflows too,
+        // so overflow indices stay contiguous at the tail — each becomes one
+        // in-slot error row without its content ever being buffered.
+        const bool over_lines =
+            limits.max_lines != 0 && out.lines.size() >= limits.max_lines;
+        const bool over_bytes =
+            limits.max_bytes != 0 && bytes + stripped.size() > limits.max_bytes;
+        if (out.overflow_lines > 0 || over_lines || over_bytes) {
+            ++out.overflow_lines;
+            continue;
+        }
+        bytes += stripped.size();
+        out.lines.emplace_back(stripped);
     }
-    return lines;
+    out.stream_error = in.bad();
+    return out;
+}
+
+std::vector<std::string> read_batch_lines(std::istream& in) {
+    return read_batch(in).lines;
 }
 
 namespace {
@@ -275,6 +297,7 @@ std::string to_json(const response_row& row) {
     if (row.trace_id != 0) w.field("trace_id", row.trace_id);
     if (!row.error.empty()) {
         w.field("error", row.error);
+        if (row.retry_after_ms != 0) w.field("retry_after_ms", row.retry_after_ms);
         return w.str();
     }
     const sim::run_outcome& o = row.outcome;
@@ -292,6 +315,15 @@ std::string to_json(const response_row& row) {
     w.field("stall_forwarding", static_cast<u64>(o.stats.stall_forwarding));
     w.field("stall_checker", static_cast<u64>(o.stats.stall_checker));
     return w.str();
+}
+
+response_row overloaded_row(u64 request_index, u64 retry_after_ms, std::string id) {
+    response_row row;
+    row.request_index = request_index;
+    row.id = std::move(id);
+    row.error = "overloaded";
+    row.retry_after_ms = retry_after_ms;
+    return row;
 }
 
 std::optional<response_row> parse_response(std::string_view line, std::string* error) {
@@ -317,6 +349,7 @@ std::optional<response_row> parse_response(std::string_view line, std::string* e
     }
     if ((v = doc->get("error"))) {
         row.error = v->as_string();
+        if ((v = doc->get("retry_after_ms"))) row.retry_after_ms = v->as_u64();
         return row;
     }
     if ((v = doc->get("scenario"))) row.outcome.scenario = v->as_string();

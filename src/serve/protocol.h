@@ -34,6 +34,10 @@
 //    "stall_collecting":..,"stall_forwarding":..,"stall_checker":..}
 // or, for a request that failed to parse or resolve:
 //   {"request":3,"repeat":0,"id":"client-tag","error":"unknown workload 'x'"}
+// or, for a request shed by admission control or the batch buffering caps
+// (one row, settling the whole request regardless of its repeats):
+//   {"request":5,"repeat":0,"id":"client-tag","error":"overloaded",
+//    "retry_after_ms":100}
 #pragma once
 
 #include <iosfwd>
@@ -61,8 +65,37 @@ std::string_view strip_cr(std::string_view line);
 // Blank for framing purposes: empty or whitespace-only (after CR strip).
 bool is_blank_line(std::string_view line);
 
+// Memory bounds on one buffered batch. A connection may not make the server
+// buffer unbounded text before any evaluation starts: lines past either cap
+// are read (to stay framed) but their content is discarded, and each becomes
+// an in-slot "overloaded" error row downstream. 0 = unlimited.
+struct batch_limits {
+    u64 max_lines = 65'536;        // request lines buffered per batch
+    u64 max_bytes = 64u << 20;     // request bytes buffered per batch
+};
+
+// One batch off a stream, with its framing diagnostics. `lines` holds the
+// admitted (CR-stripped) request lines; `overflow_lines` counts lines past
+// the batch_limits caps — they occupy request indices
+// [lines.size(), lines.size() + overflow_lines) but their content was
+// discarded. `stream_error` distinguishes a stream that *died* (in.bad() — an
+// I/O error on a socket, a throwing streambuf) from a clean end-of-stream;
+// the two must not be conflated or a flaky transport looks like a polite
+// client hanging up.
+struct batch_read {
+    std::vector<std::string> lines;
+    u64 overflow_lines = 0;
+    bool stream_error = false;
+    bool empty() const { return lines.empty() && overflow_lines == 0; }
+};
+
 // Read one batch: skips leading blank lines, collects CR-stripped request
-// lines until a blank line or EOF. Empty result <=> `in` is exhausted.
+// lines until a blank line or EOF, enforcing `limits`. An empty() result
+// means `in` was exhausted before any request line.
+batch_read read_batch(std::istream& in, const batch_limits& limits = {});
+
+// Legacy unbounded view of read_batch (tests, simple drivers): just the
+// admitted lines, default limits.
 std::vector<std::string> read_batch_lines(std::istream& in);
 
 // One evaluation request, as parsed from a single NDJSON line.
@@ -114,6 +147,10 @@ struct response_row {
     u64 repeat = 0;
     std::string id;
     std::string error;  // nonempty => the outcome fields are absent
+    // Overload shedding hint ("retry_after_ms" field, emitted when nonzero):
+    // rides only on "overloaded" error rows, telling the client when to
+    // resubmit the shed request. Round-trips through parse_response.
+    u64 retry_after_ms = 0;
     u64 seed = 0;       // the workload seed this repeat actually used
     // Optional trace correlation ("trace_id" field, emitted when nonzero).
     // The service deliberately never sets it — response bytes stay identical
@@ -130,6 +167,12 @@ struct response_row {
 };
 
 std::string to_json(const response_row& row);
+
+// The in-slot shed row: {"request":N,...,"error":"overloaded",
+// "retry_after_ms":M}. One of these settles a whole request (admission shed,
+// batch-limit overflow) regardless of its repeats.
+response_row overloaded_row(u64 request_index, u64 retry_after_ms,
+                            std::string id = {});
 
 // Parse a response row (the serve_bench client side, and round-trip tests).
 // Returns nullopt and sets `error` on malformed input.

@@ -10,19 +10,40 @@
 //
 // Batch framing on a stream: one request per line; a blank line (or EOF)
 // ends the batch, and a trailing '\r' is stripped by the framing layer so
-// CRLF clients frame identically (serve::read_batch_lines). serve_stream()
+// CRLF clients frame identically (serve::read_batch). serve_stream()
 // loops batches until EOF, flushing after each, which is the stdin/stdout
 // daemon mode of tools/meek_serve. In *framed* mode — the socket transport's
 // wire format, and `meek_serve --framed` — each batch's rows are followed by
 // one blank line, mirroring the request framing, so a client can detect
 // end-of-batch without counting rows.
+//
+// Streaming mode (service_options.streaming): serve_batch reads the batch
+// line by line, dispatches each line's jobs through the executor's
+// completion hook the moment it parses, and emits rows *while later lines
+// are still being read and executed*. Ordering is a prefix reorder window —
+// row k is written once rows 0..k-1 are out and row k is complete — so the
+// byte stream is identical to the buffered path at any thread count; only
+// first-row latency changes. The flush cadence is per drain of completed
+// rows instead of per batch.
+//
+// Overload behavior: when admission control is configured, each valid
+// request line is offered to the admission_controller at parse time; a shed
+// line settles immediately with one in-slot
+// {"error":"overloaded","retry_after_ms":N} row (never dropped, regardless
+// of its repeats). Lines past the per-batch buffering caps (batch_limits)
+// shed the same way. An SLO spec in `slo_feedback` closes the loop: the
+// request-latency burn rate tightens admission while violated and loosens
+// it on recovery.
 #pragma once
 
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "serve/admission.h"
 #include "serve/outcome_cache.h"
 #include "serve/protocol.h"
 #include "serve/workload_cache.h"
@@ -35,6 +56,13 @@ struct service_options {
     u32 threads = 0;                  // 0 => MEEK_THREADS / hardware_concurrency
     std::size_t cache_capacity = 64;  // workload cache entries; 0 disables caching
     std::size_t outcome_capacity = 256;  // completed-result cache; 0 disables
+    batch_limits limits;              // per-batch line/byte buffering caps
+    admission_options admission;      // line-level admission control (default off)
+    bool streaming = false;           // pipelined row emission in serve_batch
+    // Nonempty clauses => after each batch the service.request_ns burn rate
+    // against this spec feeds admission (tighten on violation, recover on
+    // health). Independent of any tool-level --slo exit-code check.
+    obs::slo_spec slo_feedback;
 };
 
 struct batch_stats {
@@ -42,6 +70,9 @@ struct batch_stats {
     u64 rows = 0;      // response rows emitted (includes error rows)
     u64 errors = 0;    // error rows among them
     u64 jobs = 0;      // simulations actually dispatched
+    u64 shed = 0;          // "overloaded" rows among the errors
+    u64 stream_errors = 0;  // batches whose input stream died (in.bad())
+    u64 client_aborts = 0;  // batches whose output stream died mid-response
 };
 
 class service {
@@ -55,36 +86,56 @@ public:
 
     // Read one blank-line-terminated batch from `in`, evaluate it, and write
     // one NDJSON row per (request, repeat) to `out` (plus a blank terminator
-    // line when `framed`). Returns false when `in` was exhausted before any
-    // request line was read.
+    // line when `framed`). Returns false when the connection is finished:
+    // `in` exhausted before any request line, the input stream died
+    // (in.bad(), counted as a stream_error), or `out` failed mid-response (a
+    // client hang-up, counted as a client_abort) — a false return tells
+    // serve_stream to stop looping instead of burning batches nobody reads.
     bool serve_batch(std::istream& in, std::ostream& out, batch_stats* stats = nullptr,
                      bool framed = false);
 
-    // Drain `in` batch by batch until EOF, flushing `out` after each batch;
-    // returns the aggregate stats of the session.
+    // Drain `in` batch by batch until EOF (or the connection dies), flushing
+    // `out` after each batch; returns the aggregate stats of the session.
     batch_stats serve_stream(std::istream& in, std::ostream& out, bool framed = false);
 
     const workload_cache& cache() const { return cache_; }
     const outcome_cache& outcomes() const { return outcomes_; }
     sim::executor& pool() { return pool_; }
     obs::metrics_registry& metrics() { return metrics_; }
+    const admission_controller& admission() const { return admission_; }
+    admission_controller& admission() { return admission_; }
 
     // The session's full observability picture: the registry's counters and
     // per-stage latency histograms (service.parse_ns / resolve_ns /
     // execute_ns / serialize_ns), overlaid with the workload/outcome cache
-    // stats and the executor's pool counters + queue-wait/run histograms —
-    // the existing stat structs re-plumbed into one sorted snapshot. This is
-    // what `meek_serve --stats-json` exports and what a `{"stats":true}`
-    // request line returns inline.
+    // stats, the admission controller's counters/gauges, and the executor's
+    // pool counters + queue-wait/run histograms — the existing stat structs
+    // re-plumbed into one sorted snapshot. This is what `meek_serve
+    // --stats-json` exports and what a `{"stats":true}` request line returns
+    // inline.
     obs::metrics_snapshot stats_snapshot() const;
 
 private:
+    // The streaming serve_batch: line-at-a-time read/parse/dispatch with a
+    // prefix-ordered completion emitter.
+    bool serve_batch_streaming(std::istream& in, std::ostream& out,
+                               batch_stats* stats, bool framed);
+
+    // Feed the latest request-latency window's burn rate into admission.
+    void slo_feedback_tick();
+
+    service_options opts_;
     // Declared before the executor: jobs drained by the pool's destructor
     // never touch the registry, but the registry must outlive evaluate()
     // callers' recording handles anyway — first is simplest.
     obs::metrics_registry metrics_;
     workload_cache cache_;
     outcome_cache outcomes_;
+    admission_controller admission_;
+    // slo_window_monitor is single-threaded by contract; serve_batch may run
+    // concurrently on accept-pool threads, so ticks serialize here.
+    std::mutex slo_mutex_;
+    obs::slo_window_monitor slo_monitor_;
     sim::executor pool_;
     // Trace minting sequence: batch n, line i => mint_trace_id(n, i), so
     // trace ids are a pure function of the session's input, never of

@@ -19,6 +19,7 @@
 #include <charconv>
 #include <condition_variable>
 #include <deque>
+#include <ios>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -124,7 +125,14 @@ protected:
         do {
             n = ::read(read_fd_, rbuf_, sizeof rbuf_);
         } while (n < 0 && errno == EINTR);
-        if (n <= 0) return traits_type::eof();
+        if (n == 0) return traits_type::eof();  // clean end-of-stream
+        if (n < 0) {
+            // A real I/O error (reset connection, bad fd) must not read as a
+            // polite hang-up: throwing here makes istream extraction set
+            // badbit (the default exception mask swallows the throw), so
+            // read_batch's stream_error can tell the two apart.
+            throw std::ios_base::failure("fd_stream read error");
+        }
         setg(rbuf_, rbuf_, rbuf_ + n);
         return traits_type::to_int_type(rbuf_[0]);
     }

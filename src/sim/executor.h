@@ -124,6 +124,54 @@ public:
         return fut;
     }
 
+    // Submit one indexed job with a completion hook instead of a future: runs
+    // `fn(ctx)` with ctx = {index, derive_stream_seed(base_seed, index)} and
+    // then invokes `done(ctx, result, error)` ON THE WORKER THREAD — error is
+    // a null exception_ptr on success, and `result` is default-constructed
+    // when the body threw. This is the streaming serve path's primitive: a
+    // completed job can be emitted the moment it finishes, with no join
+    // barrier holding finished rows hostage to slower ones.
+    //
+    // The hook runs outside any executor lock, but on a pool worker: it must
+    // be quick and must not block on work that itself needs this pool. The
+    // caller owns lifetime — everything `done` captures must outlive the job
+    // (callers typically count outstanding jobs and wait on a condition
+    // variable). Seeds and indices keep the run_indexed determinism contract;
+    // only completion *notification* order depends on scheduling.
+    template <class Fn, class Done>
+    void submit_indexed(std::size_t index, u64 base_seed, Fn fn, Done done,
+                        obs::trace_context trace = {}) {
+        using result_t = std::invoke_result_t<Fn&, const job_context&>;
+        static_assert(std::is_default_constructible_v<result_t>,
+                      "submit_indexed needs a default-constructible result to "
+                      "deliver alongside an exception");
+        const job_context ctx{index, derive_stream_seed(base_seed, index)};
+        obs::job_span_recorder spans(trace, index);
+        const auto posted = std::chrono::steady_clock::now();
+        auto body = [this, fn = std::move(fn), done = std::move(done), ctx, posted,
+                     spans]() mutable {
+            spans.started();
+            const obs::scoped_trace ambient(spans.context());
+            const auto start = std::chrono::steady_clock::now();
+            result_t result{};
+            std::exception_ptr error;
+            try {
+                result = fn(ctx);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            note_job(posted, start, std::chrono::steady_clock::now());
+            spans.finished();
+            done(ctx, std::move(result), error);
+        };
+        // sched::task is std::function — copyable — so the (possibly
+        // capture-heavy) body rides behind a shared_ptr like run_indexed's
+        // packaged_task does.
+        auto task = std::make_shared<decltype(body)>(std::move(body));
+        pool_.post(next_home_.fetch_add(1, std::memory_order_relaxed),
+                   [task] { (*task)(); });
+    }
+
     // Run `count` indexed jobs (fn: const job_context& -> R) and return the
     // results ordered by index. Every job in the batch is drained before this
     // returns — including when one throws — so by-reference captures of

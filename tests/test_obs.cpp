@@ -330,6 +330,43 @@ TEST(loadgen, window_split_partitions_the_latency_stream) {
     }
 }
 
+TEST(loadgen, admission_sheds_over_capacity_and_bounds_the_tail) {
+    const std::vector<u64> service_ns = {45'000};
+    const arrival_schedule_config cfg{
+        .qps = 100'000, .requests = 400, .seed = 7, .mix_size = 1, .jitter = true};
+    const std::vector<arrival> arrivals = build_arrival_schedule(cfg);
+
+    // 10us interval vs 45us service on one server: without admission the
+    // queue grows without bound and the tail is dominated by waiting.
+    const open_loop_result open = simulate_open_loop(arrivals, service_ns, 1);
+    EXPECT_EQ(open.shed, 0u);
+    EXPECT_EQ(open.completed, cfg.requests);
+
+    // A queue cap of 8 sheds the excess instead of queueing it. Every arrival
+    // is accounted for exactly once, and the admitted tail is bounded by
+    // (cap + 1) service times — queueing delay can no longer pile up.
+    const open_loop_admission cap{.max_queue = 8};
+    const open_loop_result shed = simulate_open_loop(arrivals, service_ns, 1, 0, cap);
+    EXPECT_GT(shed.shed, 0u);
+    EXPECT_EQ(shed.completed + shed.shed, cfg.requests);
+    EXPECT_LE(shed.latency_ns.max(), (cap.max_queue + 1) * 45'000);
+    EXPECT_LT(shed.latency_ns.p99(), open.latency_ns.p99());
+
+    // Deterministic: the same schedule sheds the same requests, bit for bit.
+    const open_loop_result again = simulate_open_loop(arrivals, service_ns, 1, 0, cap);
+    EXPECT_EQ(again.shed, shed.shed);
+    EXPECT_EQ(again.latency_ns, shed.latency_ns);
+
+    // Under capacity the cap is inert: nothing sheds, results are unchanged.
+    const arrival_schedule_config slow_cfg{
+        .qps = 2'000, .requests = 400, .seed = 7, .mix_size = 1, .jitter = true};
+    const std::vector<arrival> slow = build_arrival_schedule(slow_cfg);
+    const open_loop_result uncapped = simulate_open_loop(slow, service_ns, 1);
+    const open_loop_result capped = simulate_open_loop(slow, service_ns, 1, 0, cap);
+    EXPECT_EQ(capped.shed, 0u);
+    EXPECT_EQ(capped.latency_ns, uncapped.latency_ns);
+}
+
 // ------------------------------------------------------------------ trace ---
 
 // Quiesce-and-reset guard: every tracer test starts from a clean singleton

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "serve/admission.h"
 #include "serve/json.h"
 #include "serve/outcome_cache.h"
 #include "serve/protocol.h"
@@ -1278,6 +1279,342 @@ TEST(serve_protocol, response_trace_id_round_trips_but_is_never_minted) {
     serve::response_row plain;
     plain.outcome.scenario = "vanilla";
     EXPECT_EQ(serve::to_json(plain).find("trace_id"), std::string::npos);
+}
+
+// ------------------------------------------- admission control + streaming ---
+
+TEST(serve_admission, disabled_controller_admits_everything) {
+    serve::admission_controller adm;  // default: disabled
+    for (int i = 0; i < 1000; ++i) {
+        const auto d = adm.admit_line(1 << 20, 100);
+        EXPECT_TRUE(d.admit);
+        EXPECT_EQ(d.retry_after_ms, 0u);
+    }
+    EXPECT_EQ(adm.stats().admitted, 1000u);
+    EXPECT_EQ(adm.stats().shed, 0u);
+}
+
+TEST(serve_admission, queue_caps_shed_and_recover_after_retire) {
+    serve::admission_options opts;
+    opts.enabled = true;
+    opts.max_queue_lines = 2;
+    opts.retry_after_ms = 40;
+    serve::admission_controller adm(opts);
+
+    EXPECT_TRUE(adm.admit_line(10, 1).admit);
+    EXPECT_TRUE(adm.admit_line(10, 1).admit);
+    const auto shed = adm.admit_line(10, 1);
+    EXPECT_FALSE(shed.admit);
+    EXPECT_STREQ(shed.reason, "queue_lines");
+    EXPECT_EQ(shed.retry_after_ms, 40u);
+
+    adm.retire_line(10);
+    EXPECT_TRUE(adm.admit_line(10, 1).admit) << "retiring a line frees a slot";
+    EXPECT_EQ(adm.stats().admitted, 3u);
+    EXPECT_EQ(adm.stats().shed, 1u);
+    EXPECT_EQ(adm.stats().shed_queue_lines, 1u);
+
+    // Byte cap, same dance: a second large line overflows, a small one fits.
+    serve::admission_options byte_opts;
+    byte_opts.enabled = true;
+    byte_opts.max_queue_bytes = 100;
+    serve::admission_controller bytes(byte_opts);
+    EXPECT_TRUE(bytes.admit_line(80, 1).admit);
+    EXPECT_STREQ(bytes.admit_line(80, 1).reason, "queue_bytes");
+    EXPECT_TRUE(bytes.admit_line(20, 1).admit);
+    bytes.retire_line(80);
+    bytes.retire_line(20);
+    EXPECT_EQ(bytes.queued_bytes(), 0u);
+
+    // In-flight jobs: the executor-hook signal. An empty system always admits
+    // (even an over-large request must be serviceable), a busy one sheds.
+    serve::admission_options fly_opts;
+    fly_opts.enabled = true;
+    fly_opts.max_inflight_jobs = 2;
+    serve::admission_controller fly(fly_opts);
+    EXPECT_TRUE(fly.admit_line(10, 100).admit) << "idle system admits any size";
+    fly.jobs_started(2);
+    EXPECT_STREQ(fly.admit_line(10, 1).reason, "inflight");
+    fly.jobs_finished(2);
+    EXPECT_TRUE(fly.admit_line(10, 1).admit);
+}
+
+TEST(serve_admission, token_bucket_is_deterministic_under_injected_time) {
+    serve::admission_options opts;
+    opts.enabled = true;
+    opts.line_rate = 1000;  // one line per millisecond
+    opts.line_burst = 2;
+    serve::admission_controller adm(opts);
+
+    const u64 t0 = 1;  // nonzero: 0 means "read the steady clock"
+    EXPECT_TRUE(adm.admit_line(10, 1, t0).admit);   // burst token 1
+    EXPECT_TRUE(adm.admit_line(10, 1, t0).admit);   // burst token 2
+    EXPECT_STREQ(adm.admit_line(10, 1, t0).reason, "line_rate");
+    // 2 ms later the bucket refilled two tokens (rate 1/ms, capped at burst).
+    EXPECT_TRUE(adm.admit_line(10, 1, t0 + 2'000'000).admit);
+    EXPECT_TRUE(adm.admit_line(10, 1, t0 + 2'000'000).admit);
+    EXPECT_STREQ(adm.admit_line(10, 1, t0 + 2'000'000).reason, "line_rate");
+    EXPECT_EQ(adm.stats().shed_line_rate, 2u);
+}
+
+TEST(serve_admission, burn_rate_tightens_and_recovers_effective_limits) {
+    serve::admission_options opts;
+    opts.enabled = true;
+    opts.max_queue_lines = 4;
+    opts.retry_after_ms = 100;
+    serve::admission_controller adm(opts);
+
+    adm.observe_burn_rate(2.0);  // burning: scale 1.0 -> 0.5, cap 4 -> 2
+    EXPECT_DOUBLE_EQ(adm.scale(), 0.5);
+    EXPECT_EQ(adm.stats().slo_tightenings, 1u);
+    EXPECT_TRUE(adm.admit_line(10, 1).admit);
+    EXPECT_TRUE(adm.admit_line(10, 1).admit);
+    const auto shed = adm.admit_line(10, 1);
+    EXPECT_STREQ(shed.reason, "queue_lines");
+    EXPECT_EQ(shed.retry_after_ms, 200u) << "retry hint scales with pressure";
+
+    // The floor: however long the SLO burns, some capacity survives.
+    for (int i = 0; i < 20; ++i) adm.observe_burn_rate(5.0);
+    EXPECT_GE(adm.scale(), 0.125);
+
+    // Healthy windows recover multiplicatively back to full capacity.
+    int recoveries = 0;
+    while (adm.scale() < 1.0 && recoveries < 64) {
+        adm.observe_burn_rate(0.2);
+        ++recoveries;
+    }
+    EXPECT_DOUBLE_EQ(adm.scale(), 1.0);
+    EXPECT_GT(adm.stats().slo_recoveries, 0u);
+    adm.retire_line(10);
+    adm.retire_line(10);
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(adm.admit_line(10, 1).admit);
+}
+
+TEST(serve_protocol, overloaded_rows_round_trip_retry_after_ms) {
+    const serve::response_row row = serve::overloaded_row(5, 250, "tag");
+    const std::string wire = serve::to_json(row);
+    EXPECT_NE(wire.find("\"error\":\"overloaded\""), std::string::npos) << wire;
+    EXPECT_NE(wire.find("\"retry_after_ms\":250"), std::string::npos) << wire;
+
+    std::string error;
+    const auto parsed = serve::parse_response(wire, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->request_index, 5u);
+    EXPECT_EQ(parsed->id, "tag");
+    EXPECT_EQ(parsed->error, "overloaded");
+    EXPECT_EQ(parsed->retry_after_ms, 250u);
+
+    // Ordinary rows never carry the field.
+    serve::response_row plain;
+    plain.outcome.scenario = "vanilla";
+    EXPECT_EQ(serve::to_json(plain).find("retry_after_ms"), std::string::npos);
+}
+
+TEST(serve_service, admission_sheds_in_slot_and_the_rest_still_runs) {
+    serve::service_options opts;
+    opts.threads = 2;
+    opts.admission.enabled = true;
+    opts.admission.max_queue_lines = 1;
+    opts.admission.retry_after_ms = 75;
+    serve::service svc(opts);
+
+    const std::vector<std::string> lines = {
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"repeats":2})",
+        R"({"id":"late","scenario":"vanilla","workload":"hmmer","instructions":6000})",
+        R"(}{ not json)",
+    };
+    serve::batch_stats stats;
+    const std::vector<serve::response_row> rows = svc.evaluate(lines, &stats);
+    // Line 0 admits and fans out; line 1 finds the batch queue full (retires
+    // happen at end of batch, so in-batch shedding is deterministic); the
+    // malformed line errors without consulting admission.
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_TRUE(rows[0].error.empty());
+    EXPECT_TRUE(rows[1].error.empty());
+    EXPECT_EQ(rows[2].request_index, 1u);
+    EXPECT_EQ(rows[2].error, "overloaded");
+    EXPECT_EQ(rows[2].retry_after_ms, 75u);
+    EXPECT_EQ(rows[2].id, "late");
+    EXPECT_NE(rows[3].error.find("bad json"), std::string::npos);
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.jobs, 2u);
+
+    // Retired at batch end: the next batch starts with a free queue, and the
+    // whole dance repeats identically.
+    serve::batch_stats again;
+    const std::vector<serve::response_row> rows2 = svc.evaluate(lines, &again);
+    ASSERT_EQ(rows2.size(), 4u);
+    EXPECT_EQ(rows2[2].error, "overloaded");
+    EXPECT_EQ(again.shed, 1u);
+    EXPECT_EQ(svc.admission().queued_lines(), 0u);
+    EXPECT_EQ(svc.admission().inflight_jobs(), 0u);
+}
+
+// A streambuf that serves a fixed prefix and then dies with an I/O error, the
+// way a socket read returning -1 surfaces through fd_stream: underflow throws,
+// istream swallows the exception (default exception mask) and sets badbit.
+class dying_streambuf : public std::streambuf {
+public:
+    explicit dying_streambuf(std::string text) : text_(std::move(text)) {
+        setg(text_.data(), text_.data(), text_.data() + text_.size());
+    }
+
+protected:
+    int_type underflow() override {
+        throw std::ios_base::failure("injected transport failure");
+    }
+
+private:
+    std::string text_;
+};
+
+TEST(serve_service, read_batch_separates_eof_from_stream_error) {
+    // Clean EOF: no stream_error.
+    std::istringstream clean("{\"a\":1}\n{\"b\":2}\n");
+    const serve::batch_read ok = serve::read_batch(clean);
+    EXPECT_EQ(ok.lines.size(), 2u);
+    EXPECT_FALSE(ok.stream_error);
+
+    // Mid-batch I/O death: the lines read so far survive, and the error is
+    // surfaced instead of masquerading as a polite hang-up.
+    dying_streambuf buf("{\"a\":1}\n{\"b\":2}\n");
+    std::istream dying(&buf);
+    const serve::batch_read bad = serve::read_batch(dying);
+    EXPECT_EQ(bad.lines.size(), 2u);
+    EXPECT_TRUE(bad.stream_error);
+
+    // And through the service: the batch still evaluates, the connection
+    // loop stops (serve_batch returns false), and the counter ticks.
+    dying_streambuf buf2(
+        "{\"scenario\":\"vanilla\",\"workload\":\"hmmer\",\"instructions\":6000}\n");
+    std::istream dying2(&buf2);
+    std::ostringstream out;
+    serve::service svc({.threads = 1});
+    serve::batch_stats stats;
+    EXPECT_FALSE(svc.serve_batch(dying2, out, &stats));
+    EXPECT_EQ(stats.stream_errors, 1u);
+    EXPECT_EQ(stats.rows, 1u) << "rows read before the error are still served";
+    const obs::metrics_snapshot snap = svc.stats_snapshot();
+    ASSERT_NE(snap.counter_value("service.stream_errors"), nullptr);
+    EXPECT_EQ(*snap.counter_value("service.stream_errors"), 1u);
+}
+
+TEST(serve_service, batch_caps_turn_overflow_lines_into_overloaded_rows) {
+    // Protocol level: lines past the cap are drained (framing intact) but
+    // their content is dropped.
+    std::istringstream in("{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n\n{\"next\":1}\n");
+    const serve::batch_read r =
+        serve::read_batch(in, {.max_lines = 2, .max_bytes = 0});
+    EXPECT_EQ(r.lines.size(), 2u);
+    EXPECT_EQ(r.overflow_lines, 1u);
+    const serve::batch_read next = serve::read_batch(in);
+    ASSERT_EQ(next.lines.size(), 1u) << "overflow must not desync framing";
+    EXPECT_EQ(next.lines[0], "{\"next\":1}");
+
+    // Byte cap too.
+    std::istringstream in2("{\"aaaaaaaaaaaaaaaa\":1}\n{\"b\":2}\n");
+    const serve::batch_read r2 =
+        serve::read_batch(in2, {.max_lines = 0, .max_bytes = 24});
+    EXPECT_EQ(r2.lines.size(), 1u);
+    EXPECT_EQ(r2.overflow_lines, 1u);
+
+    // Service level: each overflow slot settles with an in-slot overloaded
+    // row, so no accepted line is silently dropped.
+    serve::service_options opts;
+    opts.threads = 2;
+    opts.limits.max_lines = 2;
+    serve::service svc(opts);
+    const std::string req =
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000})";
+    std::istringstream batch_in(req + "\n" + req + "\n" + req + "\n" + req + "\n");
+    std::ostringstream batch_out;
+    serve::batch_stats stats;
+    svc.serve_batch(batch_in, batch_out, &stats);
+    EXPECT_EQ(stats.requests, 4u);
+    EXPECT_EQ(stats.rows, 4u);
+    EXPECT_EQ(stats.shed, 2u);
+    std::istringstream rows_in(batch_out.str());
+    std::string line;
+    std::vector<serve::response_row> rows;
+    while (std::getline(rows_in, line)) {
+        const auto row = serve::parse_response(line);
+        ASSERT_TRUE(row.has_value()) << line;
+        rows.push_back(*row);
+    }
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_TRUE(rows[0].error.empty());
+    EXPECT_TRUE(rows[1].error.empty());
+    EXPECT_EQ(rows[2].request_index, 2u);
+    EXPECT_EQ(rows[2].error, "overloaded");
+    EXPECT_EQ(rows[3].request_index, 3u);
+    EXPECT_EQ(rows[3].error, "overloaded");
+    EXPECT_GT(rows[3].retry_after_ms, 0u);
+    EXPECT_EQ(svc.admission().stats().shed_batch_limit, 2u);
+}
+
+std::string streaming_identity_input() {
+    std::string text;
+    for (const std::string& l : mixed_batch()) text += l + '\n';
+    text +=
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":9,"repeats":3})"
+        "\n";
+    text += "}{ not json\n";
+    text += R"({"scenario":"vanilla","workload":"doom"})" "\n";
+    text += "\n";  // second batch below
+    for (const std::string& l : mixed_batch()) text += l + '\n';
+    return text;
+}
+
+TEST(serve_service, streaming_bytes_identical_to_buffered_at_any_thread_count) {
+    const std::string input = streaming_identity_input();
+    auto run = [&input](bool streaming, u32 threads, bool framed) {
+        serve::service_options opts;
+        opts.threads = threads;
+        opts.streaming = streaming;
+        serve::service svc(opts);
+        std::istringstream in(input);
+        std::ostringstream out;
+        const serve::batch_stats stats = svc.serve_stream(in, out, framed);
+        EXPECT_EQ(stats.requests, 19u);
+        EXPECT_EQ(stats.client_aborts, 0u);
+        return out.str();
+    };
+    const std::string golden = run(/*streaming=*/false, 1, false);
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(run(true, 1, false), golden);
+    EXPECT_EQ(run(true, 4, false), golden);
+    const std::string golden_framed = run(false, 4, true);
+    EXPECT_EQ(run(true, 4, true), golden_framed)
+        << "framing markers must survive streaming too";
+}
+
+// An ostream that accepts nothing: every write fails, the way a closed socket
+// surfaces once SIGPIPE is ignored.
+class closed_streambuf : public std::streambuf {
+protected:
+    int_type overflow(int_type) override { return traits_type::eof(); }
+};
+
+TEST(serve_service, client_abort_ends_the_connection_in_both_modes) {
+    const std::string req =
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000})";
+    for (const bool streaming : {false, true}) {
+        serve::service_options opts;
+        opts.threads = 2;
+        opts.streaming = streaming;
+        serve::service svc(opts);
+        closed_streambuf buf;
+        std::ostream dead(&buf);
+        std::istringstream in(req + "\n" + req + "\n\n" + req + "\n");
+        serve::batch_stats stats;
+        EXPECT_FALSE(svc.serve_batch(in, dead, &stats))
+            << "streaming=" << streaming;
+        EXPECT_EQ(stats.client_aborts, 1u) << "streaming=" << streaming;
+        const obs::metrics_snapshot snap = svc.stats_snapshot();
+        ASSERT_NE(snap.counter_value("service.client_aborts"), nullptr);
+        EXPECT_EQ(*snap.counter_value("service.client_aborts"), 1u)
+            << "streaming=" << streaming;
+    }
 }
 
 }  // namespace

@@ -721,5 +721,172 @@ TEST(transport_accept_pool, tcp_daemon_serves_two_clients_concurrently) {
     expect_two_concurrent_clients(*addr);
 }
 
+// ------------------------------------------- streaming + overload, on-wire ---
+
+TEST(transport_streaming, rows_stream_back_before_the_batch_terminator) {
+    // The pipelining proof: the client sends ONE request line and no
+    // end-of-batch marker, then blocks reading. A buffered service would
+    // still be waiting for the terminator; a streaming one answers the line
+    // the moment its jobs finish. (A regression here hangs, which ctest's
+    // timeout turns into a failure.)
+    serve::endpoint_address addr;
+    addr.kind = serve::endpoint_kind::unix_socket;
+    addr.path = socket_path("stream_early");
+    auto lis = serve::listener::open(addr);
+    ASSERT_NE(lis, nullptr);
+
+    serve::service_options sopts;
+    sopts.threads = 2;
+    sopts.streaming = true;
+    serve::service svc(sopts);
+    std::thread server([&] {
+        serve::serve_connections(svc, *lis, {.max_connections = 1, .framed = true});
+    });
+
+    const std::string l0 =
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":3})";
+    const std::string l1 =
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":4})";
+    const std::string expected = single_process_rows({l0, l1});
+
+    auto client = serve::connect_endpoint(lis->address());
+    ASSERT_NE(client, nullptr);
+    *client << l0 << '\n';
+    client->flush();  // no terminator: the batch is still open
+
+    std::string row0;
+    ASSERT_TRUE(std::getline(*client, row0)) << "row 0 must stream mid-batch";
+
+    *client << l1 << '\n' << '\n';  // second line, then end-of-batch
+    client->flush();
+    std::string row1, marker;
+    ASSERT_TRUE(std::getline(*client, row1));
+    ASSERT_TRUE(std::getline(*client, marker));
+    EXPECT_TRUE(serve::is_blank_line(marker)) << "framed batches keep the marker";
+    EXPECT_EQ(row0 + "\n" + row1 + "\n", expected)
+        << "streamed bytes must equal the buffered golden";
+
+    client->close_write();
+    client.reset();
+    server.join();
+}
+
+TEST(transport_streaming, client_hangup_mid_batch_counts_an_abort) {
+    // The client fires a batch whose response cannot fit the socket buffer
+    // and hangs up without reading a byte. The service must notice the dead
+    // connection (EPIPE => badbit), stop serving it, and count the abort —
+    // not spin, not crash, not block forever.
+    serve::endpoint_address addr;
+    addr.kind = serve::endpoint_kind::unix_socket;
+    addr.path = socket_path("hangup");
+    auto lis = serve::listener::open(addr);
+    ASSERT_NE(lis, nullptr);
+
+    serve::service svc({.threads = 2});
+    std::thread server([&] {
+        serve::serve_connections(svc, *lis, {.max_connections = 1, .framed = true});
+    });
+
+    auto client = serve::connect_endpoint(lis->address());
+    ASSERT_NE(client, nullptr);
+    // 500 repeats => ~200 KiB of response rows, past a default unix socket
+    // buffer, so the server's writes cannot all land in the kernel.
+    *client << R"({"scenario":"vanilla","workload":"hmmer","instructions":3000,)"
+            << R"("seed":3,"repeats":500})" << '\n'
+            << '\n';
+    client->flush();
+    client.reset();  // full close, nothing read
+    server.join();   // a hang here is the regression
+
+    const obs::metrics_snapshot snap = svc.stats_snapshot();
+    ASSERT_NE(snap.counter_value("service.client_aborts"), nullptr);
+    EXPECT_EQ(*snap.counter_value("service.client_aborts"), 1u);
+}
+
+TEST(gateway, streaming_merge_with_shed_rows_matches_buffered) {
+    // Admission at the gateway: 2 of 4 parseable lines shed (queue cap),
+    // settling locally as overloaded rows among real worker rows, and the
+    // streamed concatenation must equal the buffered merge byte for byte.
+    serve::gateway_options opts;
+    opts.workers = 2;
+    opts.worker_argv = {MEEK_SERVE_BIN, "--framed", "--quiet"};
+    opts.admission.enabled = true;
+    opts.admission.max_queue_lines = 2;
+    opts.admission.retry_after_ms = 50;
+
+    const std::vector<std::string> lines = {
+        R"({"id":"a","scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":3})",
+        R"({"id":"b","scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":4,"repeats":2})",
+        R"(}{ not json)",
+        R"({"id":"c","scenario":"vanilla","workload":"blackscholes","instructions":6000,"seed":3})",
+        R"({"id":"d","scenario":"vanilla","workload":"blackscholes","instructions":6000,"seed":4})",
+    };
+
+    serve::gateway buffered(opts);
+    ASSERT_TRUE(buffered.ok());
+    serve::gateway_stats bstats;
+    const std::vector<std::string> brows = buffered.evaluate(lines, &bstats);
+    ASSERT_EQ(brows.size(), 6u) << "2 admitted (3 rows) + 1 parse error + 2 shed";
+    EXPECT_EQ(bstats.shed, 2u);
+
+    // Lines 0 and 1 admitted; the parse error bypasses admission; 3 and 4
+    // find the queue full (admitted lines retire at end of batch).
+    for (const std::size_t k : {0u, 1u, 2u}) {
+        const auto row = serve::parse_response(brows[k]);
+        ASSERT_TRUE(row.has_value()) << brows[k];
+        EXPECT_TRUE(row->error.empty()) << brows[k];
+    }
+    const auto parse_err = serve::parse_response(brows[3]);
+    ASSERT_TRUE(parse_err.has_value());
+    EXPECT_NE(parse_err->error.find("bad json"), std::string::npos);
+    for (const std::size_t k : {4u, 5u}) {
+        const auto row = serve::parse_response(brows[k]);
+        ASSERT_TRUE(row.has_value()) << brows[k];
+        EXPECT_EQ(row->error, "overloaded") << brows[k];
+        EXPECT_EQ(row->retry_after_ms, 50u);
+        EXPECT_EQ(row->request_index, k - 1);
+    }
+
+    serve::gateway streaming(opts);
+    ASSERT_TRUE(streaming.ok());
+    serve::gateway_stats sstats;
+    std::vector<std::string> streamed;
+    streaming.evaluate_streamed(lines, &sstats,
+                                [&](std::vector<std::string>&& rows) {
+                                    for (std::string& r : rows) {
+                                        streamed.push_back(std::move(r));
+                                    }
+                                });
+    EXPECT_EQ(join_rows(streamed), join_rows(brows))
+        << "streamed merge must reproduce the buffered bytes";
+    EXPECT_EQ(sstats.shed, 2u);
+    EXPECT_EQ(streaming.admission().queued_lines(), 0u)
+        << "admitted lines must retire at end of batch";
+}
+
+TEST(gateway, streaming_serve_batch_is_byte_identical_to_buffered) {
+    const std::vector<std::string> lines = small_mixed_batch();
+    std::string input;
+    for (const std::string& l : lines) input += l + '\n';
+
+    auto run = [&](bool streaming) {
+        serve::gateway_options opts;
+        opts.workers = 2;
+        opts.worker_argv = {MEEK_SERVE_BIN, "--framed", "--quiet"};
+        opts.streaming = streaming;
+        serve::gateway gw(opts);
+        EXPECT_TRUE(gw.ok());
+        std::istringstream in(input);
+        std::ostringstream out;
+        const serve::gateway_stats stats = gw.serve_stream(in, out, /*framed=*/true);
+        EXPECT_EQ(stats.requests, lines.size());
+        EXPECT_EQ(stats.client_aborts, 0u);
+        return out.str();
+    };
+    const std::string buffered = run(false);
+    ASSERT_FALSE(buffered.empty());
+    EXPECT_EQ(run(true), buffered);
+}
+
 }  // namespace
 }  // namespace meek

@@ -44,6 +44,24 @@
 //                          latency after serving: report to stderr, "slo"
 //                          section in --stats-json, exit 1 on violation
 //   --quiet                suppress the stderr session summary
+//
+// Streaming and admission control (mirror meek_serve):
+//   --stream               emit each request's merged rows as soon as it
+//                          settles instead of buffering the whole batch; the
+//                          byte stream is identical either way
+//   --admission            enable admission control with default limits
+//   --max-queue-lines N    shed lines past N queued in the current batch
+//   --max-queue-bytes N    shed lines past N bytes buffered
+//   --max-inflight N       accepted for symmetry with meek_serve (the
+//                          gateway runs no simulation jobs, so this cap
+//                          never triggers here)
+//   --line-rate N          token-bucket cap on admitted lines per second
+//   --retry-after-ms N     retry_after_ms base for shed rows (default 100)
+//   --batch-max-lines N    hard cap on buffered lines per batch
+//   --batch-max-bytes N    hard cap on buffered bytes per batch
+//   Each --max-*/--line-rate flag implies --admission. With both --slo and
+//   --admission, the worker round-trip burn rate against the SLO spec
+//   tightens/recovers admission scale after every batch.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,7 +87,12 @@ int usage(const char* argv0) {
                  "          [--threads N] [--cache-capacity N] [--outcome-capacity N]\n"
                  "          [--requests FILE] [--framed] [--stats-json PATH]\n"
                  "          [--trace-json PATH] [--trace-clock wall|virtual] "
-                 "[--slo SPEC] [--quiet]\n",
+                 "[--slo SPEC] [--quiet]\n"
+                 "          [--stream] [--admission] [--max-inflight N] "
+                 "[--max-queue-lines N]\n"
+                 "          [--max-queue-bytes N] [--line-rate N] "
+                 "[--retry-after-ms N]\n"
+                 "          [--batch-max-lines N] [--batch-max-bytes N]\n",
                  argv0);
     return 2;
 }
@@ -141,6 +164,35 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--slo") {
             slo_text = next_value("--slo");
+        } else if (arg == "--stream") {
+            opts.streaming = true;
+        } else if (arg == "--admission") {
+            opts.admission.enabled = true;
+        } else if (arg == "--max-inflight") {
+            opts.admission.max_inflight_jobs =
+                std::strtoull(next_value("--max-inflight"), nullptr, 10);
+            opts.admission.enabled = true;
+        } else if (arg == "--max-queue-lines") {
+            opts.admission.max_queue_lines =
+                std::strtoull(next_value("--max-queue-lines"), nullptr, 10);
+            opts.admission.enabled = true;
+        } else if (arg == "--max-queue-bytes") {
+            opts.admission.max_queue_bytes =
+                std::strtoull(next_value("--max-queue-bytes"), nullptr, 10);
+            opts.admission.enabled = true;
+        } else if (arg == "--line-rate") {
+            opts.admission.line_rate =
+                std::strtoull(next_value("--line-rate"), nullptr, 10);
+            opts.admission.enabled = true;
+        } else if (arg == "--retry-after-ms") {
+            opts.admission.retry_after_ms =
+                std::strtoull(next_value("--retry-after-ms"), nullptr, 10);
+        } else if (arg == "--batch-max-lines") {
+            opts.limits.max_lines =
+                std::strtoull(next_value("--batch-max-lines"), nullptr, 10);
+        } else if (arg == "--batch-max-bytes") {
+            opts.limits.max_bytes =
+                std::strtoull(next_value("--batch-max-bytes"), nullptr, 10);
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -166,6 +218,7 @@ int main(int argc, char** argv) {
     opts.worker_argv = {worker_cmd, "--framed", "--quiet"};
     opts.worker_argv.insert(opts.worker_argv.end(), worker_extra_args.begin(),
                             worker_extra_args.end());
+    if (!slo_text.empty() && opts.admission.enabled) opts.slo_feedback = slo;
 
     serve::gateway gw(opts);
     if (!gw.ok()) {
@@ -210,8 +263,12 @@ int main(int argc, char** argv) {
             snap.set_counter("trace.spans_dropped", tr.spans_dropped());
         }
         std::string error;
+        std::string admission_doc;
+        if (gw.admission().enabled()) admission_doc = gw.admission().to_json();
         const std::string doc =
-            obs::stats_json(snap, slo_text.empty() ? nullptr : &slo_report) + "\n";
+            obs::stats_json(snap, slo_text.empty() ? nullptr : &slo_report,
+                            admission_doc.empty() ? nullptr : &admission_doc) +
+            "\n";
         if (!write_file_atomic(stats_json_path, doc, &error)) {
             std::fprintf(stderr, "cannot write --stats-json '%s': %s\n",
                          stats_json_path.c_str(), error.c_str());
@@ -234,13 +291,28 @@ int main(int argc, char** argv) {
     if (!quiet) {
         std::fprintf(stderr,
                      "# gateway: workers=%zu alive=%zu requests=%llu rows=%llu "
-                     "errors=%llu worker_failures=%llu respawned=%llu\n",
+                     "errors=%llu worker_failures=%llu respawned=%llu "
+                     "shed=%llu stream_errors=%llu client_aborts=%llu\n",
                      gw.worker_count(), gw.alive_workers(),
                      static_cast<unsigned long long>(stats.requests),
                      static_cast<unsigned long long>(stats.rows),
                      static_cast<unsigned long long>(stats.errors),
                      static_cast<unsigned long long>(stats.worker_failures),
-                     static_cast<unsigned long long>(stats.workers_respawned));
+                     static_cast<unsigned long long>(stats.workers_respawned),
+                     static_cast<unsigned long long>(stats.shed),
+                     static_cast<unsigned long long>(stats.stream_errors),
+                     static_cast<unsigned long long>(stats.client_aborts));
+        if (gw.admission().enabled()) {
+            const serve::admission_stats adm = gw.admission().stats();
+            std::fprintf(stderr,
+                         "# admission: admitted=%llu shed=%llu scale=%.3f "
+                         "tightenings=%llu recoveries=%llu\n",
+                         static_cast<unsigned long long>(adm.admitted),
+                         static_cast<unsigned long long>(adm.shed),
+                         gw.admission().scale(),
+                         static_cast<unsigned long long>(adm.slo_tightenings),
+                         static_cast<unsigned long long>(adm.slo_recoveries));
+        }
     }
     return slo_report.violated ? 1 : 0;
 }

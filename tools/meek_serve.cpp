@@ -18,6 +18,19 @@
 //                          0 disables — every request simulates)
 //   --framed               stdio modes: terminate each batch's rows with a
 //                          blank line (what the gateway expects of a worker)
+//   --stream               pipelined streaming: emit each request's rows as
+//                          soon as its jobs finish (prefix-ordered, so the
+//                          byte stream is identical to the batch path; only
+//                          latency changes), flushing per completed request
+//   --admission            enable admission control (with the default limits
+//                          below; any limit flag also enables it)
+//   --max-inflight N       shed when N executor jobs are already in flight
+//   --max-queue-lines N    shed when N admitted lines are awaiting rows
+//   --max-queue-bytes N    shed when N request bytes are awaiting rows
+//   --line-rate R          token-bucket line rate: R lines/second sustained
+//   --retry-after-ms N     base retry hint in shed rows (default 100)
+//   --batch-max-lines N    per-batch buffering caps: lines past either cap
+//   --batch-max-bytes N    become in-slot overloaded rows (0 = unlimited)
 //   --max-connections N    --listen: exit after serving N clients (0 = run
 //                          until killed); probes that send no request do not
 //                          consume the budget
@@ -36,7 +49,11 @@
 //   --slo SPEC             evaluate SPEC (e.g. "p99<=250us,error_rate<=1%")
 //                          against the session's end-to-end request latency
 //                          after serving: report to stderr, "slo" section in
-//                          --stats-json, exit 1 on violation
+//                          --stats-json, exit 1 on violation. With admission
+//                          enabled the spec also drives the shed/admit
+//                          feedback loop: per-batch burn rates above 1
+//                          tighten the effective limits, recovery loosens
+//                          them back
 //   --quiet                suppress the stderr session summary
 //
 // stdout carries only response rows — byte-identical for a given input at
@@ -65,8 +82,11 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--requests FILE | --listen ADDR] [--threads N] "
                  "[--cache-capacity N] [--outcome-capacity N] [--framed] "
-                 "[--max-connections N] [--accept-threads N] "
-                 "[--stats-json PATH] [--trace-json PATH] "
+                 "[--stream] [--admission] [--max-inflight N] "
+                 "[--max-queue-lines N] [--max-queue-bytes N] [--line-rate R] "
+                 "[--retry-after-ms N] [--batch-max-lines N] "
+                 "[--batch-max-bytes N] [--max-connections N] "
+                 "[--accept-threads N] [--stats-json PATH] [--trace-json PATH] "
                  "[--trace-clock wall|virtual] [--slo SPEC] [--quiet]\n",
                  argv0);
     return 2;
@@ -108,6 +128,34 @@ int main(int argc, char** argv) {
             accept_threads = v > 0 ? static_cast<u32>(v) : 1;
         } else if (arg == "--framed") {
             framed = true;
+        } else if (arg == "--stream") {
+            opts.streaming = true;
+        } else if (arg == "--admission") {
+            opts.admission.enabled = true;
+        } else if (arg == "--max-inflight") {
+            opts.admission.max_inflight_jobs =
+                std::strtoull(next_value("--max-inflight"), nullptr, 10);
+            opts.admission.enabled = true;
+        } else if (arg == "--max-queue-lines") {
+            opts.admission.max_queue_lines =
+                std::strtoull(next_value("--max-queue-lines"), nullptr, 10);
+            opts.admission.enabled = true;
+        } else if (arg == "--max-queue-bytes") {
+            opts.admission.max_queue_bytes =
+                std::strtoull(next_value("--max-queue-bytes"), nullptr, 10);
+            opts.admission.enabled = true;
+        } else if (arg == "--line-rate") {
+            opts.admission.line_rate = std::strtod(next_value("--line-rate"), nullptr);
+            opts.admission.enabled = true;
+        } else if (arg == "--retry-after-ms") {
+            opts.admission.retry_after_ms =
+                std::strtoull(next_value("--retry-after-ms"), nullptr, 10);
+        } else if (arg == "--batch-max-lines") {
+            opts.limits.max_lines =
+                std::strtoull(next_value("--batch-max-lines"), nullptr, 10);
+        } else if (arg == "--batch-max-bytes") {
+            opts.limits.max_bytes =
+                std::strtoull(next_value("--batch-max-bytes"), nullptr, 10);
         } else if (arg == "--threads") {
             opts.threads = static_cast<u32>(std::strtoul(next_value("--threads"), nullptr, 10));
         } else if (arg.rfind("--threads=", 0) == 0) {
@@ -159,6 +207,10 @@ int main(int argc, char** argv) {
     }
     const bool tracing = !trace_json_path.empty();
     if (tracing) obs::tracer::instance().enable(trace_clock);
+
+    // With admission on, the --slo spec doubles as the shed/admit feedback
+    // signal: the service tightens its own limits while the spec burns.
+    if (!slo_text.empty() && opts.admission.enabled) opts.slo_feedback = slo;
 
     serve::service svc(opts);
     serve::batch_stats stats;
@@ -233,8 +285,12 @@ int main(int argc, char** argv) {
             snap.set_counter("trace.spans_dropped", tr.spans_dropped());
         }
         std::string error;
+        std::string admission_doc;
+        if (svc.admission().enabled()) admission_doc = svc.admission().to_json();
         const std::string doc =
-            obs::stats_json(snap, slo_text.empty() ? nullptr : &slo_report) + "\n";
+            obs::stats_json(snap, slo_text.empty() ? nullptr : &slo_report,
+                            admission_doc.empty() ? nullptr : &admission_doc) +
+            "\n";
         if (!write_file_atomic(stats_json_path, doc, &error)) {
             std::fprintf(stderr, "cannot write --stats-json '%s': %s\n",
                          stats_json_path.c_str(), error.c_str());
@@ -260,7 +316,8 @@ int main(int argc, char** argv) {
         const sim::executor_timing t = svc.pool().timing();
         const sched::pool_stats ps = svc.pool().scheduler_stats();
         std::fprintf(stderr,
-                     "# requests=%llu rows=%llu errors=%llu jobs=%llu threads=%u\n"
+                     "# requests=%llu rows=%llu errors=%llu jobs=%llu threads=%u "
+                     "shed=%llu stream_errors=%llu client_aborts=%llu\n"
                      "# cache: hits=%llu misses=%llu evictions=%llu hit_rate=%.1f%%\n"
                      "# outcomes: hits=%llu misses=%llu evictions=%llu hit_rate=%.1f%%\n"
                      "# job wall-time ms: min=%.2f mean=%.2f max=%.2f total=%.2f\n"
@@ -272,6 +329,9 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(stats.errors),
                      static_cast<unsigned long long>(stats.jobs),
                      svc.pool().num_threads(),
+                     static_cast<unsigned long long>(stats.shed),
+                     static_cast<unsigned long long>(stats.stream_errors),
+                     static_cast<unsigned long long>(stats.client_aborts),
                      static_cast<unsigned long long>(cs.hits),
                      static_cast<unsigned long long>(cs.misses),
                      static_cast<unsigned long long>(cs.evictions),
@@ -288,6 +348,17 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(ps.ring_full_posts()),
                      ps.busy_ms(),
                      sched::backend_name(svc.pool().scheduler_backend()));
+        if (svc.admission().enabled()) {
+            const serve::admission_stats adm = svc.admission().stats();
+            std::fprintf(stderr,
+                         "# admission: admitted=%llu shed=%llu scale=%.3f "
+                         "tightenings=%llu recoveries=%llu\n",
+                         static_cast<unsigned long long>(adm.admitted),
+                         static_cast<unsigned long long>(adm.shed),
+                         svc.admission().scale(),
+                         static_cast<unsigned long long>(adm.slo_tightenings),
+                         static_cast<unsigned long long>(adm.slo_recoveries));
+        }
     }
     return slo_report.violated ? 1 : 0;
 }

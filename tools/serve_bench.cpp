@@ -38,13 +38,24 @@
 //   --trace-json PATH  enable request tracing and export the span journal
 //                      as Chrome trace-event JSON after the run
 //   --trace-clock MODE trace timestamps: wall (default) or virtual
+//   --admission        overload sweeps: bound the load-gen queue so arrivals
+//                      past the cap are shed instead of served. In virtual
+//                      mode this is the deterministic open_loop_admission
+//                      queue-depth model; in wall mode it configures the
+//                      live service's admission controller (in-flight jobs)
+//                      and shed arrivals come back as overloaded rows.
+//                      Latency percentiles and --slo cover admitted
+//                      requests only — that is the point of shedding.
+//   --max-inflight N   the admission cap (default 64); implies --admission
 //
 // Each QPS point prints one line:
 //   serve_bench_lat: mode=<virtual|wall> qps=.. requests=.. servers=..
-//                    completed=.. p50_ns=.. p90_ns=.. p99_ns=.. p999_ns=..
-//                    mean_ns=.. max_ns=..
+//                    completed=.. shed=.. p50_ns=.. p90_ns=.. p99_ns=..
+//                    p999_ns=.. mean_ns=.. max_ns=..
 // In virtual mode every field is an exact u64, so the whole line is stable
-// across runs at a fixed (seed, qps, requests, threads).
+// across runs at a fixed (seed, qps, requests, threads). `completed` counts
+// admitted-and-served arrivals; completed + shed == requests.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -73,8 +84,8 @@ constexpr u32 k_slo_windows = 8;
 
 int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
                  const std::vector<u64>& qps_points, u64 load_requests, u64 seed,
-                 bool wall, const std::string& stats_json_path,
-                 const obs::slo_spec* slo) {
+                 bool wall, u64 admission_queue,
+                 const std::string& stats_json_path, const obs::slo_spec* slo) {
     // Resolve every template once through the real wire path: the outcome's
     // cycle count (1 cycle == 1 ns) is the deterministic service time the
     // virtual-time queue runs on.
@@ -93,6 +104,7 @@ int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
     obs::metrics_snapshot loadgen_snap;
     obs::slo_report worst_slo;
     bool any_slo = false;
+    u64 total_shed = 0;
 
     for (const u64 qps : qps_points) {
         const obs::arrival_schedule_config cfg{.qps = qps,
@@ -105,43 +117,60 @@ int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
         obs::log_histogram lat;
         std::vector<obs::log_histogram> windows;
         u64 completed = 0;
+        u64 shed = 0;
         if (!wall) {
             obs::open_loop_result res = obs::simulate_open_loop(
-                arrivals, service_ns, servers, slo != nullptr ? k_slo_windows : 0);
+                arrivals, service_ns, servers, slo != nullptr ? k_slo_windows : 0,
+                obs::open_loop_admission{.max_queue = admission_queue});
             lat = std::move(res.latency_ns);
             windows = std::move(res.window_latency);
             completed = res.completed;
+            shed = res.shed;
         } else {
             // Open loop against the live service: each arrival fires at its
             // scheduled offset regardless of completions (no coordinated
-            // omission), one dispatch thread per request.
+            // omission), one dispatch thread per request. A shed arrival
+            // comes back as an in-slot overloaded row (the service's own
+            // admission controller decided) and stays out of the latency
+            // histogram, matching the virtual-time accounting.
             obs::atomic_log_histogram wall_lat;
+            std::atomic<u64> wall_shed{0};
             const auto t0 = std::chrono::steady_clock::now();
             std::vector<std::thread> threads;
             threads.reserve(arrivals.size());
             for (const obs::arrival& a : arrivals) {
-                threads.emplace_back([&svc, &mix_lines, &wall_lat, t0, a] {
+                threads.emplace_back([&svc, &mix_lines, &wall_lat, &wall_shed, t0,
+                                      a] {
                     const auto due = t0 + std::chrono::nanoseconds(a.arrival_ns);
                     std::this_thread::sleep_until(due);
-                    svc.evaluate({mix_lines[a.mix_index]});
+                    const auto rows = svc.evaluate({mix_lines[a.mix_index]});
+                    const bool overloaded =
+                        !rows.empty() && rows.front().error == "overloaded";
                     const auto d =
                         std::chrono::duration_cast<std::chrono::nanoseconds>(
                             std::chrono::steady_clock::now() - due);
-                    wall_lat.record(d.count() > 0 ? static_cast<u64>(d.count()) : 0);
+                    if (overloaded) {
+                        wall_shed.fetch_add(1, std::memory_order_relaxed);
+                    } else {
+                        wall_lat.record(d.count() > 0 ? static_cast<u64>(d.count())
+                                                      : 0);
+                    }
                 });
             }
             for (std::thread& t : threads) t.join();
             lat = wall_lat.snapshot();
             completed = lat.count();
+            shed = wall_shed.load(std::memory_order_relaxed);
         }
 
         std::printf(
             "serve_bench_lat: mode=%s qps=%llu requests=%llu servers=%u "
-            "completed=%llu p50_ns=%llu p90_ns=%llu p99_ns=%llu p999_ns=%llu "
-            "mean_ns=%llu max_ns=%llu\n",
+            "completed=%llu shed=%llu p50_ns=%llu p90_ns=%llu p99_ns=%llu "
+            "p999_ns=%llu mean_ns=%llu max_ns=%llu\n",
             wall ? "wall" : "virtual", static_cast<unsigned long long>(qps),
             static_cast<unsigned long long>(load_requests), servers,
             static_cast<unsigned long long>(completed),
+            static_cast<unsigned long long>(shed),
             static_cast<unsigned long long>(lat.p50()),
             static_cast<unsigned long long>(lat.p90()),
             static_cast<unsigned long long>(lat.p99()),
@@ -151,6 +180,8 @@ int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
             static_cast<unsigned long long>(lat.count() ? lat.max() : 0));
         loadgen_snap.add_histogram("loadgen.q" + std::to_string(qps) + ".latency_ns",
                                    lat);
+        loadgen_snap.set_counter("loadgen.q" + std::to_string(qps) + ".shed", shed);
+        total_shed += shed;
 
         if (slo != nullptr) {
             // Virtual mode evaluates over the arrival-time windows (any bad
@@ -180,6 +211,10 @@ int run_load_gen(serve::service& svc, const std::vector<std::string>& mix_lines,
         }
         snap.set_gauge("loadgen.servers", servers);
         snap.set_counter("loadgen.requests_per_point", load_requests);
+        snap.set_counter("admission.shed", total_shed);
+        if (admission_queue > 0) {
+            snap.set_gauge("admission.max_queue", admission_queue);
+        }
         std::string error;
         const std::string doc =
             obs::stats_json(snap, any_slo ? &worst_slo : nullptr) + "\n";
@@ -216,6 +251,8 @@ int main(int argc, char** argv) {
     bool use_cache = true;
     bool load_gen = false;
     bool wall = false;
+    bool admission = false;
+    u64 max_inflight = 0;  // 0 => default cap when --admission is set
     u64 load_requests = 200;
     std::vector<u64> qps_points;
     std::string stats_json_path;
@@ -255,6 +292,11 @@ int main(int argc, char** argv) {
             load_gen = true;
         } else if (arg == "--wall") {
             wall = true;
+        } else if (arg == "--admission") {
+            admission = true;
+        } else if (arg == "--max-inflight") {
+            max_inflight = value("--max-inflight");
+            admission = true;
         } else if (arg == "--load-requests") {
             load_requests = value("--load-requests");
         } else if (arg == "--qps") {
@@ -296,7 +338,8 @@ int main(int argc, char** argv) {
             std::fprintf(stderr,
                          "usage: %s [--requests N] [--instructions N] [--threads N] "
                          "[--seed N] [--no-cache] [--load-gen] [--qps A,B,...] "
-                         "[--load-requests N] [--wall] [--stats-json PATH] "
+                         "[--load-requests N] [--wall] [--admission] "
+                         "[--max-inflight N] [--stats-json PATH] "
                          "[--slo SPEC] [--trace-json PATH] "
                          "[--trace-clock wall|virtual]\n",
                          argv[0]);
@@ -340,10 +383,19 @@ int main(int argc, char** argv) {
             }
         }
         if (qps_points.empty()) qps_points.push_back(1000);
+        const u64 admission_queue = admission ? (max_inflight > 0 ? max_inflight : 64) : 0;
+        if (admission && wall) {
+            // Wall mode sheds in the live service itself: its admission
+            // controller caps executor in-flight jobs at the same limit the
+            // virtual-time model applies to its queue.
+            opts.admission.enabled = true;
+            opts.admission.max_inflight_jobs = admission_queue;
+        }
         serve::service svc(opts);
         const int rc =
             run_load_gen(svc, mix_lines, qps_points, load_requests, seed, wall,
-                         stats_json_path, slo_text.empty() ? nullptr : &slo);
+                         admission_queue, stats_json_path,
+                         slo_text.empty() ? nullptr : &slo);
         const int trace_rc = export_trace_json(trace_json_path);
         return rc != 0 ? rc : trace_rc;
     }
