@@ -1,9 +1,16 @@
 // Bounded FIFO used throughout the design: DC-Buffers, HM-NoC link queues,
 // the LSL's dual-way banks and the little core's skid buffers. Capacity is a
 // hardware property fixed at construction.
+//
+// Backed by a fixed power-of-two ring: one allocation at construction, masked
+// head/tail indexing, contiguous-ish storage so checker scans over the log
+// walk a single array instead of chasing std::deque blocks. Supports move-only
+// and non-default-constructible payloads via placement construction.
 #pragma once
 
-#include <deque>
+#include <cstddef>
+#include <memory>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -14,43 +21,162 @@ namespace meek {
 template <typename T>
 class bounded_fifo {
 public:
-    explicit bounded_fifo(std::size_t capacity) : capacity_(capacity) {}
+    explicit bounded_fifo(std::size_t capacity)
+        : capacity_(capacity), mask_(round_up_pow2(capacity) - 1) {
+        slots_ = alloc_.allocate(mask_ + 1);
+    }
+
+    bounded_fifo(const bounded_fifo& other)
+        : capacity_(other.capacity_), mask_(other.mask_) {
+        slots_ = alloc_.allocate(mask_ + 1);
+        for (std::size_t i = 0; i < other.count_; ++i)
+            ::new (static_cast<void*>(slots_ + ((other.head_ + i) & mask_)))
+                T(other.slot(i));
+        head_ = other.head_;
+        count_ = other.count_;
+    }
+
+    bounded_fifo(bounded_fifo&& other) noexcept
+        : capacity_(other.capacity_),
+          mask_(other.mask_),
+          slots_(other.slots_),
+          head_(other.head_),
+          count_(other.count_) {
+        other.slots_ = nullptr;
+        other.head_ = 0;
+        other.count_ = 0;
+    }
+
+    bounded_fifo& operator=(const bounded_fifo& other) {
+        if (this != &other) {
+            bounded_fifo tmp(other);
+            swap(tmp);
+        }
+        return *this;
+    }
+
+    bounded_fifo& operator=(bounded_fifo&& other) noexcept {
+        if (this != &other) {
+            destroy_all();
+            if (slots_) alloc_.deallocate(slots_, mask_ + 1);
+            capacity_ = other.capacity_;
+            mask_ = other.mask_;
+            slots_ = other.slots_;
+            head_ = other.head_;
+            count_ = other.count_;
+            other.slots_ = nullptr;
+            other.head_ = 0;
+            other.count_ = 0;
+        }
+        return *this;
+    }
+
+    void swap(bounded_fifo& other) noexcept {
+        std::swap(capacity_, other.capacity_);
+        std::swap(mask_, other.mask_);
+        std::swap(slots_, other.slots_);
+        std::swap(head_, other.head_);
+        std::swap(count_, other.count_);
+    }
+
+    ~bounded_fifo() {
+        destroy_all();
+        if (slots_) alloc_.deallocate(slots_, mask_ + 1);
+    }
 
     std::size_t capacity() const { return capacity_; }
-    std::size_t size() const { return items_.size(); }
-    bool empty() const { return items_.empty(); }
-    bool full() const { return items_.size() >= capacity_; }
-    std::size_t free_slots() const { return capacity_ - items_.size(); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ >= capacity_; }
+    std::size_t free_slots() const { return capacity_ - count_; }
 
     // Enqueue; returns false (and drops nothing) when full, modeling
     // ready/valid backpressure.
     bool push(T item) {
         if (full()) return false;
-        items_.push_back(std::move(item));
+        ::new (static_cast<void*>(slots_ + ((head_ + count_) & mask_)))
+            T(std::move(item));
+        ++count_;
         return true;
     }
 
-    const T& front() const { return items_.front(); }
-    T& front() { return items_.front(); }
+    const T& front() const { return slots_[head_]; }
+    T& front() { return slots_[head_]; }
 
     std::optional<T> pop() {
-        if (items_.empty()) return std::nullopt;
-        T item = std::move(items_.front());
-        items_.pop_front();
+        if (count_ == 0) return std::nullopt;
+        T* p = slots_ + head_;
+        std::optional<T> item(std::move(*p));
+        p->~T();
+        head_ = (head_ + 1) & mask_;
+        --count_;
         return item;
     }
 
-    void clear() { items_.clear(); }
+    void clear() {
+        destroy_all();
+        head_ = 0;
+        count_ = 0;
+    }
+
+    T& at(std::size_t i) { return slot(i); }
+    const T& at(std::size_t i) const { return slot(i); }
 
     // Iteration support for checkers that scan the log in order.
-    auto begin() const { return items_.begin(); }
-    auto end() const { return items_.end(); }
-    T& at(std::size_t i) { return items_[i]; }
-    const T& at(std::size_t i) const { return items_[i]; }
+    class const_iterator {
+    public:
+        using value_type = T;
+        using reference = const T&;
+        using pointer = const T*;
+        using difference_type = std::ptrdiff_t;
+        using iterator_category = std::forward_iterator_tag;
+
+        const_iterator() = default;
+        const_iterator(const bounded_fifo* f, std::size_t pos) : fifo_(f), pos_(pos) {}
+        reference operator*() const { return fifo_->slot(pos_); }
+        pointer operator->() const { return &fifo_->slot(pos_); }
+        const_iterator& operator++() {
+            ++pos_;
+            return *this;
+        }
+        const_iterator operator++(int) {
+            const_iterator tmp = *this;
+            ++pos_;
+            return tmp;
+        }
+        bool operator==(const const_iterator& o) const { return pos_ == o.pos_; }
+        bool operator!=(const const_iterator& o) const { return pos_ != o.pos_; }
+
+    private:
+        const bounded_fifo* fifo_ = nullptr;
+        std::size_t pos_ = 0;
+    };
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, count_); }
 
 private:
+    // Logical index -> storage slot.
+    T& slot(std::size_t i) const { return slots_[(head_ + i) & mask_]; }
+
+    void destroy_all() {
+        for (std::size_t i = 0; i < count_; ++i) slot(i).~T();
+    }
+
+    // Storage is the smallest power of two >= capacity (>= 1 so masking stays
+    // valid even for degenerate zero-capacity queues, which reject every push).
+    static std::size_t round_up_pow2(std::size_t n) {
+        std::size_t p = 1;
+        while (p < n) p <<= 1;
+        return p;
+    }
+
     std::size_t capacity_;
-    std::deque<T> items_;
+    std::size_t mask_;
+    [[no_unique_address]] std::allocator<T> alloc_;
+    T* slots_ = nullptr;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
 };
 
 }  // namespace meek

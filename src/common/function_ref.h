@@ -1,0 +1,54 @@
+// Lightweight non-owning callable reference: one context pointer plus one
+// plain function pointer. Used on the per-packet hot paths (fabric delivery,
+// soc packet/error hooks) where a std::function's type-erased dispatch and
+// potential allocation are too heavy, while still allowing arbitrary callables
+// (including capturing lambdas and std::function holders) to be attached.
+//
+// The referenced callable must outlive the function_ref — callers keep the
+// owning object (e.g. a std::function member) alongside the reference.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace meek {
+
+template <typename Sig>
+class function_ref;
+
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+public:
+    function_ref() = default;
+
+    // Bind to a long-lived callable (lvalue only: binding a temporary would
+    // dangle immediately).
+    template <typename F>
+        requires(!std::is_same_v<std::remove_cvref_t<F>, function_ref> &&
+                 std::is_invocable_r_v<R, F&, Args...>)
+    function_ref(F& f)
+        : ctx_(const_cast<void*>(static_cast<const void*>(&f))),
+          fn_([](void* ctx, Args... args) -> R {
+              return (*static_cast<F*>(ctx))(std::forward<Args>(args)...);
+          }) {}
+
+    // Bind raw context + trampoline directly (zero-abstraction form).
+    function_ref(void* ctx, R (*fn)(void*, Args...)) : ctx_(ctx), fn_(fn) {}
+
+    explicit operator bool() const { return fn_ != nullptr; }
+
+    R operator()(Args... args) const {
+        return fn_(ctx_, std::forward<Args>(args)...);
+    }
+
+    void reset() {
+        ctx_ = nullptr;
+        fn_ = nullptr;
+    }
+
+private:
+    void* ctx_ = nullptr;
+    R (*fn_)(void*, Args...) = nullptr;
+};
+
+}  // namespace meek

@@ -53,8 +53,26 @@ bool fabric_model::push(fwd_packet p, u32 path, cycle_t now_big) {
     }
     ++order_counter_;
     ++stats_.packets_pushed;
+    ++staged_count_;
     stats_.max_dc_depth = std::max(stats_.max_dc_depth, fifo.size());
     return true;
+}
+
+cycle_t fabric_model::next_event_lo() const {
+    cycle_t next = k_no_event;
+    if (inflight_count_ != 0) {
+        for (const auto& q : dest_queues_) {
+            if (!q.empty()) next = std::min(next, q.front().deliver_at_lo);
+        }
+    }
+    if (staged_count_ != 0) {
+        for (const dc_buffer& buf : buffers_) {
+            for (const auto* fifo : {&buf.status, &buf.runtime}) {
+                if (!fifo->empty()) next = std::min(next, fifo->front().ready_lo);
+            }
+        }
+    }
+    return next;
 }
 
 bounded_fifo<fabric_model::staged_packet>* fabric_model::oldest_head(cycle_t now_lo) {
@@ -75,16 +93,21 @@ bounded_fifo<fabric_model::staged_packet>* fabric_model::oldest_head(cycle_t now
 }
 
 void fabric_model::tick_low(cycle_t now_lo) {
+    if (staged_count_ == 0 && inflight_count_ == 0) return;  // nothing anywhere
+
     // 1) Complete in-flight deliveries (per-destination, in order).
-    for (u32 core = 0; core < num_cores_; ++core) {
-        auto& q = dest_queues_[core];
-        while (!q.empty() && q.front().deliver_at_lo <= now_lo) {
-            if (deliver_ && !deliver_(core, q.front().packet)) {
-                ++stats_.delivery_retries;
-                break;  // LSL full: head blocks, order preserved
+    if (inflight_count_ != 0) {
+        for (u32 core = 0; core < num_cores_; ++core) {
+            auto& q = dest_queues_[core];
+            while (!q.empty() && q.front().deliver_at_lo <= now_lo) {
+                if (deliver_ && !deliver_(core, q.front().packet)) {
+                    ++stats_.delivery_retries;
+                    break;  // LSL full: head blocks, order preserved
+                }
+                ++stats_.packets_delivered;
+                q.pop();
+                --inflight_count_;
             }
-            ++stats_.packets_delivered;
-            q.pop();
         }
     }
 
@@ -109,12 +132,16 @@ void fabric_model::tick_low(cycle_t now_lo) {
             for (u32 core = 0; core < num_cores_ && delivered < fanout; ++core) {
                 if ((head.remaining >> core) & 1) {
                     dest_queues_[core].push({head.packet, now_lo + hop_latency(core)});
+                    ++inflight_count_;
                     head.remaining &= static_cast<dest_mask_t>(~(1u << core));
                     ++delivered;
                 }
             }
             if (delivered > 1) stats_.multicast_merged += delivered - 1;
-            if (head.remaining == 0 && delivered > 0) fifo->pop();
+            if (head.remaining == 0 && delivered > 0) {
+                fifo->pop();
+                --staged_count_;
+            }
             if (delivered == 0) break;  // all destinations blocked
         } else {
             // AXI: one destination per bus transaction, plus a re-arbitration
@@ -127,8 +154,12 @@ void fabric_model::tick_low(cycle_t now_lo) {
             while (core < num_cores_ && !((head.remaining >> core) & 1)) ++core;
             if (core >= num_cores_ || dest_queues_[core].full()) break;
             dest_queues_[core].push({head.packet, now_lo + hop_latency(core)});
+            ++inflight_count_;
             head.remaining &= static_cast<dest_mask_t>(~(1u << core));
-            if (head.remaining == 0) fifo->pop();
+            if (head.remaining == 0) {
+                fifo->pop();
+                --staged_count_;
+            }
             // Alternate grants amortize the handshake over short bursts.
             if (fifo != axi_last_src_) axi_rearb_ = !axi_rearb_was_;
             axi_rearb_was_ = axi_rearb_;
@@ -138,16 +169,6 @@ void fabric_model::tick_low(cycle_t now_lo) {
         any = true;
     }
     if (any) ++stats_.busy_lo_cycles;
-}
-
-bool fabric_model::drained() const {
-    for (const dc_buffer& buf : buffers_) {
-        if (!buf.status.empty() || !buf.runtime.empty()) return false;
-    }
-    for (const auto& q : dest_queues_) {
-        if (!q.empty()) return false;
-    }
-    return true;
 }
 
 }  // namespace meek

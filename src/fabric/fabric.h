@@ -20,6 +20,7 @@
 
 #include "common/config.h"
 #include "common/fifo.h"
+#include "common/function_ref.h"
 #include "deu/packet.h"
 
 namespace meek {
@@ -38,10 +39,28 @@ struct fabric_stats {
 class fabric_model {
 public:
     using deliver_fn = std::function<bool(u32 core, const fwd_packet&)>;
+    using deliver_ref = function_ref<bool(u32, const fwd_packet&)>;
 
     fabric_model(const fabric_config& cfg, u32 commit_paths, u32 num_little_cores);
 
-    void set_deliver(deliver_fn fn) { deliver_ = std::move(fn); }
+    // Owning sink for arbitrary callables (tests, instrumentation). The
+    // delivery hot path always dispatches through a function_ref, so this
+    // costs one extra indirection only when actually attached.
+    void set_deliver(deliver_fn fn) {
+        deliver_store_ = std::move(fn);
+        if (deliver_store_) {
+            deliver_ = deliver_ref(deliver_store_);
+        } else {
+            deliver_.reset();
+        }
+    }
+
+    // Non-owning sink for the SoC's per-packet hot path: a raw context +
+    // function-pointer pair, no type erasure layers.
+    void set_deliver_ref(deliver_ref ref) {
+        deliver_store_ = nullptr;
+        deliver_ = ref;
+    }
 
     // Commit-side port (big-core clock domain). `path` selects the
     // DC-Buffer; returns false when the relevant channel FIFO is full.
@@ -52,9 +71,17 @@ public:
     // the DC-Buffers and complete in-flight deliveries.
     void tick_low(cycle_t now_lo);
 
-    bool drained() const;
+    bool drained() const { return staged_count_ == 0 && inflight_count_ == 0; }
     const fabric_stats& stats() const { return stats_; }
     const fabric_config& config() const { return cfg_; }
+
+    // Earliest low cycle at which tick_low would do observable work: the
+    // minimum over staged packets' CDC-ready times and in-flight deliveries'
+    // arrival times. Returns k_no_event when the fabric is empty. A result
+    // <= "now" means work (possibly a blocked-but-retrying delivery) is due
+    // this very cycle; the event-driven SoC advance must not skip past it.
+    static constexpr cycle_t k_no_event = ~cycle_t{0};
+    cycle_t next_event_lo() const;
 
 private:
     struct staged_packet {
@@ -83,9 +110,12 @@ private:
     u32 num_cores_;
     std::vector<dc_buffer> buffers_;
     std::vector<bounded_fifo<in_flight>> dest_queues_;  // per little core
-    deliver_fn deliver_;
+    deliver_ref deliver_;        // hot-path dispatch
+    deliver_fn deliver_store_;   // owning holder behind set_deliver()
     fabric_stats stats_;
     u64 order_counter_ = 0;
+    std::size_t staged_count_ = 0;    // packets sitting in DC-Buffers
+    std::size_t inflight_count_ = 0;  // packets in per-core landing queues
 
     // AXI arbitration: switching the granted master/channel between
     // transactions costs a handshake cycle (AR/AW re-arbitration).

@@ -190,18 +190,4 @@ exec_out execute(const exec_in& in) {
     return out;
 }
 
-u64 load_result(opcode op, u64 raw) {
-    switch (op) {
-        case opcode::lb: return static_cast<u64>(sign_extend(raw, 8));
-        case opcode::lh: return static_cast<u64>(sign_extend(raw, 16));
-        case opcode::lw: return static_cast<u64>(sign_extend(raw, 32));
-        case opcode::lbu: return raw & mask64(8);
-        case opcode::lhu: return raw & mask64(16);
-        case opcode::lwu: return raw & mask64(32);
-        case opcode::ld:
-        case opcode::fld: return raw;
-        default: return raw;
-    }
-}
-
 }  // namespace meek

@@ -7,6 +7,7 @@
 
 #include <optional>
 
+#include "common/bits.h"
 #include "common/types.h"
 #include "isa/instruction.h"
 
@@ -53,7 +54,20 @@ struct exec_out {
 exec_out execute(const exec_in& in);
 
 // Convert raw loaded bytes (zero-extended to 64 bits) into the architectural
-// register value for the given load opcode (sign extension etc.).
-u64 load_result(opcode op, u64 raw);
+// register value for the given load opcode (sign extension etc.). Inline: it
+// sits on both cores' load-completion hot paths.
+inline u64 load_result(opcode op, u64 raw) {
+    switch (op) {
+        case opcode::lb: return static_cast<u64>(sign_extend(raw, 8));
+        case opcode::lh: return static_cast<u64>(sign_extend(raw, 16));
+        case opcode::lw: return static_cast<u64>(sign_extend(raw, 32));
+        case opcode::lbu: return raw & mask64(8);
+        case opcode::lhu: return raw & mask64(16);
+        case opcode::lwu: return raw & mask64(32);
+        case opcode::ld:
+        case opcode::fld: return raw;
+        default: return raw;
+    }
+}
 
 }  // namespace meek

@@ -6,58 +6,6 @@
 
 namespace meek {
 
-bool instr::writes_rd() const {
-    switch (opcode_format(op)) {
-        case op_format::r:
-        case op_format::r2:
-        case op_format::r4:
-        case op_format::i:
-        case op_format::u:
-        case op_format::l:
-        case op_format::j:
-        case op_format::jr:
-        case op_format::csr:
-        case op_format::m1d:
-            break;
-        default:
-            return false;
-    }
-    // Integer x0 is hardwired to zero; FP f0 is a real register.
-    return rd_is_fp() || rd != 0;
-}
-
-bool instr::reads_rs1() const {
-    switch (opcode_format(op)) {
-        case op_format::r:
-        case op_format::r2:
-        case op_format::r4:
-        case op_format::i:
-        case op_format::l:
-        case op_format::s:
-        case op_format::b:
-        case op_format::jr:
-        case op_format::csr:
-        case op_format::m2:
-        case op_format::m1s:
-            return true;
-        default:
-            return false;
-    }
-}
-
-bool instr::reads_rs2() const {
-    switch (opcode_format(op)) {
-        case op_format::r:
-        case op_format::r4:
-        case op_format::s:
-        case op_format::b:
-        case op_format::m2:
-            return true;
-        default:
-            return false;
-    }
-}
-
 u64 encode(const instr& ins) {
     u64 w = 0;
     w = insert_bits(w, 0, 8, static_cast<u64>(ins.op));

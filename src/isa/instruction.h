@@ -36,9 +36,55 @@ struct instr {
 
     // True when this op architecturally writes `rd` (x0 writes are discarded
     // for the integer file, as in RISC-V).
-    bool writes_rd() const;
-    bool reads_rs1() const;
-    bool reads_rs2() const;
+    bool writes_rd() const {
+        switch (opcode_format(op)) {
+            case op_format::r:
+            case op_format::r2:
+            case op_format::r4:
+            case op_format::i:
+            case op_format::u:
+            case op_format::l:
+            case op_format::j:
+            case op_format::jr:
+            case op_format::csr:
+            case op_format::m1d:
+                break;
+            default:
+                return false;
+        }
+        // Integer x0 is hardwired to zero; FP f0 is a real register.
+        return rd_is_fp() || rd != 0;
+    }
+    bool reads_rs1() const {
+        switch (opcode_format(op)) {
+            case op_format::r:
+            case op_format::r2:
+            case op_format::r4:
+            case op_format::i:
+            case op_format::l:
+            case op_format::s:
+            case op_format::b:
+            case op_format::jr:
+            case op_format::csr:
+            case op_format::m2:
+            case op_format::m1s:
+                return true;
+            default:
+                return false;
+        }
+    }
+    bool reads_rs2() const {
+        switch (opcode_format(op)) {
+            case op_format::r:
+            case op_format::r4:
+            case op_format::s:
+            case op_format::b:
+            case op_format::m2:
+                return true;
+            default:
+                return false;
+        }
+    }
     bool reads_rs3() const { return opcode_format(op) == op_format::r4; }
 
     bool operator==(const instr&) const = default;

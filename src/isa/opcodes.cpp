@@ -1,69 +1,22 @@
 #include "isa/opcodes.h"
 
-#include <array>
 #include <string_view>
 #include <unordered_map>
 
 namespace meek {
-namespace {
-
-struct opcode_info {
-    std::string_view mnemonic;
-    op_class klass;
-    op_format format;
-    u8 fp_mask;
-    bool privileged;
-};
-
-constexpr std::array<opcode_info, k_num_opcodes> k_table = {{
-#define X(name, mnemonic, klass, fmt, fp, priv) \
-    {mnemonic, op_class::klass, op_format::fmt, fp, priv},
-    MEEK_OPCODE_LIST(X)
-#undef X
-}};
-
-const opcode_info& info(opcode op) {
-    return k_table[static_cast<std::size_t>(op)];
-}
-
-}  // namespace
-
-op_class opcode_class(opcode op) { return info(op).klass; }
-op_format opcode_format(opcode op) { return info(op).format; }
-std::string_view opcode_mnemonic(opcode op) { return info(op).mnemonic; }
-u8 opcode_fp_mask(opcode op) { return info(op).fp_mask; }
-bool opcode_privileged(opcode op) { return info(op).privileged; }
 
 std::optional<opcode> opcode_from_mnemonic(std::string_view mnemonic) {
     static const auto k_by_name = [] {
         std::unordered_map<std::string_view, opcode> m;
         for (std::size_t i = 0; i < k_num_opcodes; ++i) {
-            m.emplace(k_table[i].mnemonic, static_cast<opcode>(i));
+            m.emplace(detail::k_opcode_table[i].mnemonic,
+                      static_cast<opcode>(i));
         }
         return m;
     }();
     const auto it = k_by_name.find(mnemonic);
     if (it == k_by_name.end()) return std::nullopt;
     return it->second;
-}
-
-u8 memory_access_bytes(opcode op) {
-    switch (op) {
-        case opcode::lb:
-        case opcode::lbu:
-        case opcode::sb: return 1;
-        case opcode::lh:
-        case opcode::lhu:
-        case opcode::sh: return 2;
-        case opcode::lw:
-        case opcode::lwu:
-        case opcode::sw: return 4;
-        case opcode::ld:
-        case opcode::sd:
-        case opcode::fld:
-        case opcode::fsd: return 8;
-        default: return 0;
-    }
 }
 
 }  // namespace meek

@@ -6,6 +6,7 @@
 // routing tables in a single place.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string_view>
 
@@ -146,19 +147,54 @@ inline constexpr std::size_t k_num_opcodes = []() {
     return n;
 }();
 
-op_class opcode_class(opcode op);
-op_format opcode_format(opcode op);
-std::string_view opcode_mnemonic(opcode op);
-u8 opcode_fp_mask(opcode op);
-bool opcode_privileged(opcode op);
+namespace detail {
+
+struct opcode_info {
+    std::string_view mnemonic;
+    op_class klass;
+    op_format format;
+    u8 fp_mask;
+    bool privileged;
+};
+
+// The decode table lives in the header so the per-instruction accessors below
+// inline to a single indexed load on the replay/commit hot path.
+inline constexpr std::array<opcode_info, k_num_opcodes> k_opcode_table = {{
+#define X(name, mnemonic, klass, fmt, fp, priv) \
+    {mnemonic, op_class::klass, op_format::fmt, fp, priv},
+    MEEK_OPCODE_LIST(X)
+#undef X
+}};
+
+inline constexpr const opcode_info& opcode_info_of(opcode op) {
+    return k_opcode_table[static_cast<std::size_t>(op)];
+}
+
+}  // namespace detail
+
+inline constexpr op_class opcode_class(opcode op) {
+    return detail::opcode_info_of(op).klass;
+}
+inline constexpr op_format opcode_format(opcode op) {
+    return detail::opcode_info_of(op).format;
+}
+inline constexpr std::string_view opcode_mnemonic(opcode op) {
+    return detail::opcode_info_of(op).mnemonic;
+}
+inline constexpr u8 opcode_fp_mask(opcode op) {
+    return detail::opcode_info_of(op).fp_mask;
+}
+inline constexpr bool opcode_privileged(opcode op) {
+    return detail::opcode_info_of(op).privileged;
+}
 std::optional<opcode> opcode_from_mnemonic(std::string_view mnemonic);
 
-inline bool is_memory_op(opcode op) {
+inline constexpr bool is_memory_op(opcode op) {
     const op_class c = opcode_class(op);
     return c == op_class::load || c == op_class::store;
 }
 
-inline bool is_control_flow(opcode op) {
+inline constexpr bool is_control_flow(opcode op) {
     const op_class c = opcode_class(op);
     return c == op_class::branch || c == op_class::jump;
 }
@@ -169,6 +205,23 @@ inline bool is_meek_op(opcode op) {
 }
 
 // Memory access size in bytes for load/store opcodes; 0 for non-memory ops.
-u8 memory_access_bytes(opcode op);
+inline constexpr u8 memory_access_bytes(opcode op) {
+    switch (op) {
+        case opcode::lb:
+        case opcode::lbu:
+        case opcode::sb: return 1;
+        case opcode::lh:
+        case opcode::lhu:
+        case opcode::sh: return 2;
+        case opcode::lw:
+        case opcode::lwu:
+        case opcode::sw: return 4;
+        case opcode::ld:
+        case opcode::sd:
+        case opcode::fld:
+        case opcode::fsd: return 8;
+        default: return 0;
+    }
+}
 
 }  // namespace meek

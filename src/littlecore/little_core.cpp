@@ -111,11 +111,32 @@ cycle_t little_core::control_penalty(const instr& ins, addr_t pc, bool taken,
     return 2;
 }
 
+void little_core::account_parked(cycle_t n) {
+    switch (park_) {
+        case park_state::idle_wait:
+        case park_state::runnable:  // callers never bulk-skip runnable cores
+            return;
+        case park_state::busy_wait:
+            stats_.busy_cycles += n;
+            return;
+        case park_state::extern_wait:
+            stats_.busy_cycles += n;
+            switch (park_stall_) {
+                case park_stall::srcp: stats_.stall_srcp += n; break;
+                case park_stall::watermark: stats_.stall_watermark += n; break;
+                case park_stall::lsl: stats_.stall_lsl_empty += n; break;
+                case park_stall::none: break;
+            }
+            return;
+    }
+}
+
 void little_core::assign_segment(const segment_job& job) {
     // MSU: record the application context before the checker takes over.
     saved_app_state_ = state_;
     mode_ = core_mode::check;
     phase_ = checker_phase::wait_srcp;
+    park_ = park_state::runnable;
     segment_ = job.segment;
     start_seq_ = job.start_seq;
     replayed_ = 0;
@@ -143,6 +164,7 @@ void little_core::fail(check_error_kind kind, cycle_t now_lo) {
     ++stats_.segments_failed;
     ++stats_.segments_checked;
     phase_ = checker_phase::report;
+    park_ = park_state::idle_wait;
 }
 
 bool little_core::deliver(const fwd_packet& p) {
@@ -150,18 +172,29 @@ bool little_core::deliver(const fwd_packet& p) {
         phase_ != checker_phase::idle && parity64(p.data) != p.parity) {
         parity_error_pending_ = true;
     }
+    // Fresh input may satisfy whatever the checker was parked on (including a
+    // busy-wait, which a pending parity fault pre-empts at the next tick).
+    if (park_ != park_state::idle_wait) park_ = park_state::runnable;
     return lsl_.deliver(p);
 }
 
 void little_core::tick(cycle_t now_lo) {
-    if (phase_ == checker_phase::idle || phase_ == checker_phase::report) return;
+    if (phase_ == checker_phase::idle || phase_ == checker_phase::report) {
+        park_ = park_state::idle_wait;
+        return;
+    }
     if (parity_error_pending_) {
         parity_error_pending_ = false;
         fail(check_error_kind::parity_fault, now_lo);
         return;
     }
     ++stats_.busy_cycles;
-    if (now_lo < busy_until_) return;
+    if (now_lo < busy_until_) {
+        park_ = park_state::busy_wait;
+        park_wake_ = busy_until_;
+        return;
+    }
+    park_ = park_state::runnable;
 
     switch (phase_) {
         case checker_phase::wait_srcp:
@@ -170,6 +203,8 @@ void little_core::tick(cycle_t now_lo) {
                 phase_cycles_left_ = k_snapshot_words / 2;  // 2 regs per cycle
             } else {
                 ++stats_.stall_srcp;
+                park_ = park_state::extern_wait;
+                park_stall_ = park_stall::srcp;
             }
             break;
 
@@ -216,6 +251,8 @@ bool little_core::replay_step(cycle_t now_lo) {
     // the main thread so instruction faults always hit the big core first.
     if (watermark_ != nullptr && *watermark_ < start_seq_ + replayed_ + 2) {
         ++stats_.stall_watermark;
+        park_ = park_state::extern_wait;
+        park_stall_ = park_stall::watermark;
         return false;
     }
 
@@ -223,6 +260,8 @@ bool little_core::replay_step(cycle_t now_lo) {
     if (const auto count = lsl_.expected_count(); count && replayed_ >= *count) {
         if (!lsl_.ercp_ready()) {
             ++stats_.stall_srcp;
+            park_ = park_state::extern_wait;
+            park_stall_ = park_stall::srcp;
             return false;
         }
         phase_ = checker_phase::compare;
@@ -269,6 +308,8 @@ bool little_core::replay_step(cycle_t now_lo) {
     if (klass == op_class::csr) {
         if (lsl_.runtime_empty()) {
             ++stats_.stall_lsl_empty;
+            park_ = park_state::extern_wait;
+            park_stall_ = park_stall::lsl;
             return false;
         }
         const fwd_packet& head = lsl_.runtime_front();
@@ -298,6 +339,8 @@ bool little_core::replay_step(cycle_t now_lo) {
     if (out.mem) {
         if (lsl_.runtime_empty()) {
             ++stats_.stall_lsl_empty;
+            park_ = park_state::extern_wait;
+            park_stall_ = park_stall::lsl;
             return false;
         }
         const fwd_packet head = *lsl_.pop_runtime();

@@ -98,6 +98,29 @@ public:
     bool has_result() const { return phase_ == checker_phase::report; }
     segment_result collect_result();
 
+    // --- Park state (event-driven low-domain advance) ---
+    // After every tick() the core publishes why its next tick would be a
+    // no-op, so the SoC can jump over provably-idle spans in one step:
+    //   runnable    — must be ticked every little cycle (no skipping);
+    //   idle_wait   — idle/report: nothing happens until assign/collect;
+    //   busy_wait   — busy-waiting on busy_until_ (wake at park_wake());
+    //   extern_wait — stalled on external input (SRCP/ERCP words, LSL
+    //                 entries, the commit watermark); an event must unpark.
+    enum class park_state : u8 { runnable, idle_wait, busy_wait, extern_wait };
+    park_state park() const { return park_; }
+    cycle_t park_wake() const { return park_wake_; }  // little cycles; busy_wait only
+
+    // Bulk accounting for `n` skipped little cycles: replicates exactly what
+    // `n` consecutive ticks would have recorded (a parked tick only bumps
+    // busy/stall counters and returns — no other state changes).
+    void account_parked(cycle_t n);
+
+    // External wake: the commit watermark advanced (the only park condition
+    // not signalled through deliver()/assign_segment()).
+    void notify_external() {
+        if (park_ == park_state::extern_wait) park_ = park_state::runnable;
+    }
+
     // Fabric delivery port. Returns false if the LSL rejected the packet.
     // Load data is parity-checked on arrival (the paper duplicates/protects
     // the data end-to-end: cache parity is carried through the LSQ and F2).
@@ -181,6 +204,11 @@ private:
     std::array<btb_slot, 64> btb_{};
     std::array<u8, 256> bht_{};  // 2-bit counters, taken when >= 2
     bool parity_error_pending_ = false;
+
+    enum class park_stall : u8 { none, srcp, watermark, lsl };
+    park_state park_ = park_state::runnable;
+    park_stall park_stall_ = park_stall::none;
+    cycle_t park_wake_ = 0;
 
     little_core_stats stats_;
 };

@@ -1,7 +1,9 @@
 #include "meek/soc.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 namespace meek {
 namespace {
@@ -25,8 +27,15 @@ meek_soc::meek_soc(const soc_config& cfg)
     }
     fabric_ = std::make_unique<fabric_model>(cfg.fabric, cfg.big.commit_width,
                                              cfg.num_little_cores);
-    fabric_->set_deliver(
-        [this](u32 core, const fwd_packet& p) { return littles_[core]->deliver(p); });
+    // Raw context + function-pointer sink: the per-packet delivery path
+    // compiles down to one indirect call straight into little_core::deliver.
+    fabric_->set_deliver_ref({this, [](void* ctx, u32 core, const fwd_packet& p) {
+                                  auto* soc = static_cast<meek_soc*>(ctx);
+                                  return soc->littles_[core]->deliver(p);
+                              }});
+    if (const char* mode = std::getenv("MEEK_LOW_ADVANCE")) {
+        if (std::string_view(mode) == "exhaustive") event_driven_ = false;
+    }
     // Table III clocks the optimized Rockets at 2 GHz (the deeper FPU
     // pipeline and unrolled divider close timing); the fabric stays in the
     // 1.6 GHz domain of Fig. 2. An explicit freq_override_mhz (design-space
@@ -66,7 +75,36 @@ void meek_soc::tick_low_once() {
     // low-domain cycles at 2 GHz.
     const cycle_t target = (lo + 1) * little_freq_mhz_ / cfg_.fabric.freq_mhz;
     while (little_ticks_done_ < target) {
-        for (auto& lc : littles_) lc->tick(little_ticks_done_);
+        const cycle_t now = little_ticks_done_;
+        if (!event_driven_) {
+            // Exhaustive reference mode: every core ticks every little cycle.
+            for (auto& lc : littles_) lc->tick(now);
+        } else {
+            // Per-core fast path: a parked core's tick is a pure counter
+            // bump (or a no-op when idle), and its park condition cannot
+            // change mid-cycle — deliveries and watermark advances all land
+            // before this loop and unpark to runnable. account_parked(1)
+            // replicates the tick exactly without re-deriving the stall.
+            for (auto& lc : littles_) {
+                switch (lc->park()) {
+                    case little_core::park_state::idle_wait:
+                        break;
+                    case little_core::park_state::busy_wait:
+                        if (now < lc->park_wake()) {
+                            lc->account_parked(1);
+                        } else {
+                            lc->tick(now);
+                        }
+                        break;
+                    case little_core::park_state::extern_wait:
+                        lc->account_parked(1);
+                        break;
+                    case little_core::park_state::runnable:
+                        lc->tick(now);
+                        break;
+                }
+            }
+        }
         ++little_ticks_done_;
     }
     ++low_ticks_done_;
@@ -74,7 +112,89 @@ void meek_soc::tick_low_once() {
 }
 
 void meek_soc::advance_low_to(cycle_t big_cycle) {
-    while (low_ticks_done_ * 2 < big_cycle) tick_low_once();
+    const cycle_t target = (big_cycle + 1) / 2;  // == ceil(big_cycle / 2)
+    while (low_ticks_done_ < target) {
+        if (event_driven_) {
+            const cycle_t wake = next_activity_lo();
+            if (wake > low_ticks_done_) {
+                skip_span(std::min(wake, target));
+                continue;
+            }
+        }
+        tick_low_once();
+    }
+}
+
+cycle_t meek_soc::next_activity_lo() const {
+    const cycle_t lo = low_ticks_done_;
+    cycle_t wake = k_never;
+    for (const auto& lc : littles_) {
+        switch (lc->park()) {
+            case little_core::park_state::runnable:
+                return lo;
+            case little_core::park_state::busy_wait: {
+                // First low cycle whose little-tick batch reaches the wake
+                // point W (little cycles): smallest lo with T(lo+1) > W where
+                // T(n) = n * little_freq / fabric_freq (floor).
+                const cycle_t w = lc->park_wake();
+                const cycle_t lo_w = ((w + 1) * cfg_.fabric.freq_mhz +
+                                      little_freq_mhz_ - 1) /
+                                         little_freq_mhz_ -
+                                     1;
+                wake = std::min(wake, std::max(lo_w, lo));
+                break;
+            }
+            case little_core::park_state::idle_wait:
+            case little_core::park_state::extern_wait:
+                break;  // only an external event can wake these
+        }
+    }
+    const cycle_t f = fabric_->next_event_lo();
+    if (f != fabric_model::k_no_event) {
+        // A due-but-blocked delivery (f <= lo) must keep retrying every low
+        // cycle so delivery_retries stays exact: no skipping.
+        if (f <= lo) return lo;
+        wake = std::min(wake, f);
+    }
+    return wake;
+}
+
+void meek_soc::skip_span(cycle_t to_lo) {
+    // Precondition: no activity in [low_ticks_done_, to_lo) — every little
+    // core is parked (with busy wakes beyond the span) and no fabric event is
+    // due, so the skipped ticks are pure counter increments.
+    const cycle_t t_target = to_lo * little_freq_mhz_ / cfg_.fabric.freq_mhz;
+    if (const cycle_t n = t_target - little_ticks_done_; n > 0) {
+        for (auto& lc : littles_) lc->account_parked(n);
+    }
+    little_ticks_done_ = t_target;
+    low_ticks_done_ = to_lo;
+}
+
+void meek_soc::step_low_for_wait(cycle_t& guard, const char* what) {
+    // Quiescence means the wait condition can never be satisfied: nothing is
+    // in flight and every checker needs external input. Detected identically
+    // in both advance modes (it is a pure observation of parked state).
+    const cycle_t wake = next_activity_lo();
+    if (wake == k_never) {
+        std::string msg(what);
+        msg += ": SoC quiescent with unsatisfied wait (livelock averted);";
+        for (u32 i = 0; i < littles_.size(); ++i) {
+            const auto& lc = littles_[i];
+            msg += " core" + std::to_string(i) + "=" +
+                   (lc->idle()         ? "idle"
+                    : lc->has_result() ? "report"
+                                       : "checking") +
+                   "/park" +
+                   std::to_string(static_cast<int>(lc->park()));
+        }
+        throw soc_stall_error(msg);
+    }
+    if (event_driven_ && wake > low_ticks_done_) skip_span(wake);
+    tick_low_once();
+    if (++guard > k_drain_tick_bound) {
+        throw soc_stall_error(std::string(what) + ": stall budget exhausted");
+    }
 }
 
 void meek_soc::collect_results() {
@@ -91,7 +211,7 @@ void meek_soc::collect_results() {
             ev.detect_big_cycle = r.error.detect_lo_cycle *
                                   cfg_.big.freq_mhz / little_freq_mhz_;
             detections_.push_back(ev);
-            if (error_hook_) error_hook_(ev);
+            if (error_ref_) error_ref_(ev);
         }
     }
 }
@@ -101,10 +221,7 @@ cycle_t meek_soc::push_blocking(fwd_packet p, u32 path, cycle_t now_big,
     advance_low_to(now_big);
     cycle_t guard = 0;
     while (!fabric_->can_accept(p.kind, path)) {
-        tick_low_once();
-        if (++guard > k_drain_tick_bound) {
-            throw std::runtime_error("fabric never drained (livelock?)");
-        }
+        step_low_for_wait(guard, "fabric push");
         const cycle_t nb = low_ticks_done_ * 2;
         if (nb > now_big) {
             stall_bucket += nb - now_big;
@@ -128,7 +245,7 @@ cycle_t meek_soc::send_status(const arch_snapshot& snap, u32 boundary,
         p.seq = seq;
         p.dest = dest;
         p.created_big_cycle = now_big;
-        if (packet_hook_) packet_hook_(p);
+        if (packet_ref_) packet_ref_(p);
         // PRF read ports deliver `ports` words per cycle.
         now_big = std::max(now_big, start + w / ports);
         now_big = push_blocking(p, w % cfg_.big.commit_width, now_big,
@@ -150,7 +267,7 @@ cycle_t meek_soc::fire_rcp(const commit_record& rec, cycle_t now_big, bool final
     end.seq = rec.seq;
     end.dest = bit(old_verifier);
     end.created_big_cycle = now_big;
-    if (packet_hook_) packet_hook_(end);
+    if (packet_ref_) packet_ref_(end);
     now_big = push_blocking(end, 0, now_big, stats_.stall_forwarding);
 
     const arch_snapshot snap = arch_snapshot::capture(big_->state());
@@ -200,10 +317,7 @@ cycle_t meek_soc::on_commit(const commit_record& rec, cycle_t proposed) {
     if (pending_) {
         cycle_t guard = 0;
         while (find_idle_core() < 0) {
-            tick_low_once();
-            if (++guard > k_drain_tick_bound) {
-                throw std::runtime_error("no checker ever freed (livelock?)");
-            }
+            step_low_for_wait(guard, "rcp wait");
         }
         const cycle_t nb = low_ticks_done_ * 2;
         if (nb > t) {
@@ -229,13 +343,16 @@ cycle_t meek_soc::on_commit(const commit_record& rec, cycle_t proposed) {
         pkt->segment = current_segment_;
         pkt->dest = bit(current_verifier_);
         pkt->created_big_cycle = t;
-        if (packet_hook_) packet_hook_(*pkt);
+        if (packet_ref_) packet_ref_(*pkt);
         t = push_blocking(*pkt, static_cast<u32>(rec.seq % cfg_.big.commit_width), t,
                           stats_.stall_forwarding);
         ++segment_runtime_entries_;
     }
     ++segment_instrs_;
     committed_watermark_ = rec.seq + 1;
+    // The watermark is the one park condition not signalled via deliver():
+    // wake any checker stalled on the one-behind rule.
+    for (auto& lc : littles_) lc->notify_external();
 
     if (deu_.check_trigger(rec, segment_runtime_entries_, segment_instrs_) !=
         rcp_trigger::none) {
@@ -253,46 +370,49 @@ meek_run_result meek_soc::run(const run_limits& limits) {
     meek_run_result result;
     if (prog_ == nullptr) return result;
 
-    if (checking_) {
-        assign_segment(0, 0, 0);
-        send_status(arch_snapshot::capture(big_->state()), 0, bit(0), 0, 0);
-    }
-
-    result.big = big_->run(limits, checking_ ? this : nullptr);
-
-    if (checking_) {
-        cycle_t t = result.big.cycles;
-        // An unresolved pending RCP here means zero instructions followed the
-        // last boundary; there is nothing left to verify for it.
-        pending_.reset();
-        if (current_verifier_ >= 0) {
-            commit_record final_rec;
-            final_rec.seq = big_->stats().instructions == 0
-                                ? 0
-                                : big_->stats().instructions - 1;
-            final_rec.commit_cycle = t;
-            t = fire_rcp(final_rec, t, true);
+    try {
+        if (checking_) {
+            assign_segment(0, 0, 0);
+            send_status(arch_snapshot::capture(big_->state()), 0, bit(0), 0, 0);
         }
-        // Let the tail checkers run out (the main thread is done, so the
-        // one-behind rule no longer binds).
-        committed_watermark_ = ~u64{0};
-        cycle_t guard = 0;
-        auto all_idle = [&] {
-            return std::all_of(littles_.begin(), littles_.end(),
-                               [](const auto& lc) { return lc->idle(); });
-        };
-        while (!fabric_->drained() || !all_idle()) {
-            tick_low_once();
-            if (++guard > k_drain_tick_bound) {
-                throw std::runtime_error("drain never completed");
+
+        result.big = big_->run(limits, checking_ ? this : nullptr);
+
+        if (checking_) {
+            cycle_t t = result.big.cycles;
+            // An unresolved pending RCP here means zero instructions followed
+            // the last boundary; there is nothing left to verify for it.
+            pending_.reset();
+            if (current_verifier_ >= 0) {
+                commit_record final_rec;
+                final_rec.seq = big_->stats().instructions == 0
+                                    ? 0
+                                    : big_->stats().instructions - 1;
+                final_rec.commit_cycle = t;
+                t = fire_rcp(final_rec, t, true);
             }
+            // Let the tail checkers run out (the main thread is done, so the
+            // one-behind rule no longer binds).
+            committed_watermark_ = ~u64{0};
+            for (auto& lc : littles_) lc->notify_external();
+            cycle_t guard = 0;
+            auto all_idle = [&] {
+                return std::all_of(littles_.begin(), littles_.end(),
+                                   [](const auto& lc) { return lc->idle(); });
+            };
+            while (!fabric_->drained() || !all_idle()) {
+                step_low_for_wait(guard, "drain");
+            }
+            const cycle_t end_big = low_ticks_done_ * 2;
+            result.drain_cycles = end_big > t ? end_big - t : 0;
         }
-        const cycle_t end_big = low_ticks_done_ * 2;
-        result.drain_cycles = end_big > t ? end_big - t : 0;
+    } catch (const soc_stall_error& e) {
+        result.error = e.what();
+        result.big.truncated = true;
     }
 
     result.soc = stats_;
-    result.verified_ok = stats_.segments_failed == 0;
+    result.verified_ok = stats_.segments_failed == 0 && result.error.empty();
     return result;
 }
 

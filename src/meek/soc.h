@@ -16,11 +16,14 @@
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bigcore/ooo_core.h"
 #include "common/clock.h"
 #include "common/config.h"
+#include "common/function_ref.h"
 #include "deu/deu.h"
 #include "fabric/fabric.h"
 #include "littlecore/little_core.h"
@@ -54,6 +57,16 @@ struct meek_run_result {
     cycle_t drain_cycles = 0;  // extra big cycles to finish outstanding checks
     soc_stats soc;
     bool verified_ok = false;  // all segments passed (expected when no faults)
+    // Non-empty when the run was aborted because the SoC could provably make
+    // no further progress (e.g. a zero-capacity fabric that can never accept
+    // a packet) or exhausted its stall budget. Replaces the former livelock.
+    std::string error;
+};
+
+// Internal abort signal for stalled-forever configurations; meek_soc::run()
+// converts it into meek_run_result::error.
+struct soc_stall_error : std::runtime_error {
+    using std::runtime_error::runtime_error;
 };
 
 class meek_soc : public commit_sink {
@@ -75,11 +88,36 @@ public:
     // Called on every packet right before it enters the fabric; campaigns
     // corrupt packets here (the paper injects "errors in the forwarded data
     // from the F2 connected to the big core").
+    // The owning std::function is cold storage; the per-packet call sites
+    // dispatch through a function_ref (null fast path = one predictable
+    // branch, no type-erasure layers when a campaign is attached).
     using packet_hook = std::function<void(fwd_packet&)>;
-    void set_packet_hook(packet_hook hook) { packet_hook_ = std::move(hook); }
+    void set_packet_hook(packet_hook hook) {
+        packet_hook_ = std::move(hook);
+        if (packet_hook_) {
+            packet_ref_ = function_ref<void(fwd_packet&)>(packet_hook_);
+        } else {
+            packet_ref_.reset();
+        }
+    }
 
     using error_hook = std::function<void(const detection_event&)>;
-    void set_error_hook(error_hook hook) { error_hook_ = std::move(hook); }
+    void set_error_hook(error_hook hook) {
+        error_hook_ = std::move(hook);
+        if (error_hook_) {
+            error_ref_ = function_ref<void(const detection_event&)>(error_hook_);
+        } else {
+            error_ref_.reset();
+        }
+    }
+
+    // Low-domain advance strategy. Event-driven (default) jumps over spans
+    // where every checker is parked and the fabric has nothing due, with
+    // bulk-accounted stall counters; exhaustive ticks every low cycle and is
+    // the reference mode (env MEEK_LOW_ADVANCE=exhaustive selects it
+    // globally). Both produce bit-identical results.
+    void set_event_driven_low_advance(bool on) { event_driven_ = on; }
+    bool event_driven_low_advance() const { return event_driven_; }
 
     // commit_sink interface (driven by the big core).
     cycle_t on_commit(const commit_record& rec, cycle_t proposed) override;
@@ -108,6 +146,17 @@ private:
     void advance_low_to(cycle_t big_cycle);
     void tick_low_once();
     void collect_results();
+
+    // Event-driven advance helpers. next_activity_lo() returns the earliest
+    // low cycle >= low_ticks_done_ at which any state can change (k_never
+    // when the SoC is quiescent and only external input could wake it);
+    // skip_span() jumps to `to_lo` bulk-accounting the parked little cores;
+    // step_low_for_wait() performs one event step inside a wait loop and
+    // throws soc_stall_error on quiescence or an exhausted stall budget.
+    static constexpr cycle_t k_never = ~cycle_t{0};
+    cycle_t next_activity_lo() const;
+    void skip_span(cycle_t to_lo);
+    void step_low_for_wait(cycle_t& guard, const char* what);
 
     // Push helpers that spin the low domain until the fabric accepts,
     // charging the wait to `stall_bucket`. Returns the (possibly later)
@@ -153,9 +202,12 @@ private:
 
     packet_hook packet_hook_;
     error_hook error_hook_;
+    function_ref<void(fwd_packet&)> packet_ref_;
+    function_ref<void(const detection_event&)> error_ref_;
     std::vector<detection_event> detections_;
     soc_stats stats_;
     bool halted_seen_ = false;
+    bool event_driven_ = true;
 };
 
 }  // namespace meek

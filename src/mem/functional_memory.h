@@ -34,6 +34,14 @@ private:
     page& touch_page(addr_t addr);
 
     std::unordered_map<u64, std::unique_ptr<page>> pages_;
+
+    // Last-page caches: consecutive accesses overwhelmingly hit the same
+    // page, and pages are heap-owned and never freed, so the raw pointers
+    // stay valid for the lifetime of the map entry.
+    mutable u64 last_lookup_num_ = 0;
+    mutable const page* last_lookup_ = nullptr;
+    u64 last_touch_num_ = 0;
+    page* last_touch_ = nullptr;
 };
 
 }  // namespace meek

@@ -263,7 +263,16 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
     admission_.jobs_finished(specs.size());
     if (!specs.empty()) execute_ns.record(elapsed_ns(execute_start, clock::now()));
 
-    // Phase 3: merge outcomes back into their slots.
+    // Phase 3: merge outcomes back into their slots. Simulated-work totals
+    // are summed over the outcomes (cache hits included: a served result
+    // represents that much simulated work regardless of where it came from),
+    // so they are deterministic at any thread count.
+    u64 sim_instructions = 0;
+    u64 sim_big_cycles = 0;
+    for (const sim::run_outcome& o : outcomes) {
+        sim_instructions += o.instructions;
+        sim_big_cycles += o.cycles;
+    }
     std::vector<response_row> rows;
     rows.reserve(slots.size());
     u64 errors = 0;
@@ -294,6 +303,8 @@ std::vector<response_row> service::evaluate(const std::vector<std::string>& line
     metrics_.get_counter("service.rows").add(rows.size());
     metrics_.get_counter("service.jobs").add(specs.size());
     metrics_.get_counter("service.errors").add(errors);
+    metrics_.get_counter("sim.instructions").add(sim_instructions);
+    metrics_.get_counter("sim.big_cycles").add(sim_big_cycles);
 
     // Stats rows last: the snapshot includes this batch's own counters and
     // spans (minus serialization, which has not happened yet), and is built
@@ -388,6 +399,10 @@ bool service::serve_batch_streaming(std::istream& in, std::ostream& out,
         metrics_.get_histogram("service.request_ns");
     obs::atomic_log_histogram& serialize_ns =
         metrics_.get_histogram("service.serialize_ns");
+    // Simulated-work totals, recorded per completed job from the worker-side
+    // hook (relaxed atomic adds — order-free, so deterministic sums).
+    obs::counter& sim_instructions = metrics_.get_counter("sim.instructions");
+    obs::counter& sim_big_cycles = metrics_.get_counter("sim.big_cycles");
 
     obs::tracer& tracer = obs::tracer::instance();
     const bool tracing = tracer.enabled();
@@ -550,9 +565,9 @@ bool service::serve_batch_streaming(std::istream& in, std::ostream& out,
                 [this, spec = std::move(spec)](const sim::job_context&) {
                     return outcomes_.outcome_for(spec);
                 },
-                [this, &st, &drain](const sim::job_context& ctx,
-                                    sim::run_outcome result,
-                                    std::exception_ptr error) {
+                [this, &st, &drain, &sim_instructions, &sim_big_cycles](
+                    const sim::job_context& ctx, sim::run_outcome result,
+                    std::exception_ptr error) {
                     admission_.jobs_finished(1);
                     std::lock_guard lock(st.m);
                     pending& p = st.rows[ctx.index];
@@ -568,6 +583,8 @@ bool service::serve_batch_streaming(std::istream& in, std::ostream& out,
                             p.row.error = "job failed";
                         }
                     } else {
+                        sim_instructions.add(result.instructions);
+                        sim_big_cycles.add(result.cycles);
                         p.row.outcome = std::move(result);
                     }
                     p.ready = true;
@@ -663,6 +680,18 @@ obs::metrics_snapshot service::stats_snapshot() const {
     snap.set_gauge("outcome_cache.size", outcomes_.size());
     admission_.contribute_metrics(snap);
     pool_.contribute_metrics(snap);
+    // Derived simulation throughput: simulated instructions per host second
+    // of fan-out wall time (the sim_throughput bench's MIPS, as a service
+    // gauge). Wall-time-derived, so — like steal counts — not part of the
+    // deterministic counter set.
+    if (const u64* instr = snap.counter_value("sim.instructions")) {
+        if (const obs::log_histogram* exec = snap.histogram("service.execute_ns");
+            exec != nullptr && exec->sum() > 0) {
+            snap.set_gauge("sim.host_instr_per_sec",
+                           static_cast<u64>(static_cast<double>(*instr) * 1e9 /
+                                            static_cast<double>(exec->sum())));
+        }
+    }
     return snap;
 }
 

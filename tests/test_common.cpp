@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -182,6 +184,118 @@ TEST(bounded_fifo, backpressure_and_order) {
     EXPECT_EQ(*f.pop(), 3);
     EXPECT_EQ(*f.pop(), 4);
     EXPECT_FALSE(f.pop().has_value());
+}
+
+TEST(bounded_fifo, wraparound_preserves_fifo_order) {
+    bounded_fifo<int> f(4);  // pow2 capacity: head chases tail around the ring
+    int next = 0;
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_TRUE(f.push(next++));
+        EXPECT_TRUE(f.push(next++));
+        EXPECT_EQ(*f.pop(), next - 2);
+        EXPECT_EQ(*f.pop(), next - 1);
+    }
+    EXPECT_TRUE(f.empty());
+
+    bounded_fifo<int> g(3);  // non-pow2 capacity: storage rounds up, cap holds
+    EXPECT_TRUE(g.push(0));
+    EXPECT_EQ(*g.pop(), 0);
+    EXPECT_TRUE(g.push(1));
+    EXPECT_TRUE(g.push(2));
+    EXPECT_TRUE(g.push(3));
+    EXPECT_TRUE(g.full());
+    EXPECT_FALSE(g.push(4));
+    EXPECT_EQ(g.free_slots(), 0u);
+    EXPECT_EQ(*g.pop(), 1);
+    EXPECT_EQ(*g.pop(), 2);
+    EXPECT_EQ(*g.pop(), 3);
+    EXPECT_FALSE(g.pop().has_value());
+}
+
+TEST(bounded_fifo, iteration_and_at_under_wrap) {
+    bounded_fifo<int> f(4);
+    for (int i = 0; i < 3; ++i) f.push(i);
+    f.pop();
+    f.pop();
+    f.push(3);
+    f.push(4);
+    f.push(5);  // physically wrapped: slots [2,3,0,1]
+    const std::vector<int> want{2, 3, 4, 5};
+    std::vector<int> got(f.begin(), f.end());
+    EXPECT_EQ(got, want);
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(f.at(i), want[i]);
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.free_slots(), 4u);
+    EXPECT_TRUE(f.begin() == f.end());
+}
+
+TEST(bounded_fifo, move_only_payloads) {
+    bounded_fifo<std::unique_ptr<int>> f(2);
+    EXPECT_TRUE(f.push(std::make_unique<int>(7)));
+    EXPECT_TRUE(f.push(std::make_unique<int>(8)));
+    EXPECT_FALSE(f.push(std::make_unique<int>(9)));
+    EXPECT_EQ(*f.front().get(), 7);
+    auto p = f.pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(**p, 7);
+    bounded_fifo<std::unique_ptr<int>> g(std::move(f));
+    EXPECT_EQ(g.size(), 1u);
+    EXPECT_EQ(**g.pop(), 8);
+}
+
+TEST(bounded_fifo, zero_capacity_rejects_everything) {
+    bounded_fifo<int> f(0);
+    EXPECT_TRUE(f.empty());
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.free_slots(), 0u);
+    EXPECT_FALSE(f.push(1));
+    EXPECT_FALSE(f.pop().has_value());
+}
+
+// Differential test: the ring must be observationally identical to the old
+// std::deque-backed implementation under a random push/pop/clear workload.
+TEST(bounded_fifo, randomized_differential_vs_deque_reference) {
+    struct deque_ref {
+        std::size_t cap;
+        std::deque<int> items;
+        bool push(int v) {
+            if (items.size() >= cap) return false;
+            items.push_back(v);
+            return true;
+        }
+        std::optional<int> pop() {
+            if (items.empty()) return std::nullopt;
+            int v = items.front();
+            items.pop_front();
+            return v;
+        }
+    };
+    rng prng(0xF1F0'F1F0ull);
+    for (std::size_t cap : {1u, 2u, 5u, 16u, 33u}) {
+        bounded_fifo<int> ring(cap);
+        deque_ref ref{cap, {}};
+        for (int step = 0; step < 5000; ++step) {
+            const u64 op = prng.next() % 100;
+            if (op < 55) {
+                const int v = static_cast<int>(prng.next() & 0xFFFF);
+                EXPECT_EQ(ring.push(v), ref.push(v));
+            } else if (op < 95) {
+                EXPECT_EQ(ring.pop(), ref.pop());
+            } else {
+                ring.clear();
+                ref.items.clear();
+            }
+            ASSERT_EQ(ring.size(), ref.items.size());
+            ASSERT_EQ(ring.empty(), ref.items.empty());
+            ASSERT_EQ(ring.full(), ref.items.size() >= cap);
+            ASSERT_EQ(ring.free_slots(), cap - ref.items.size());
+            ASSERT_TRUE(std::equal(ring.begin(), ring.end(), ref.items.begin(),
+                                   ref.items.end()));
+            if (!ref.items.empty()) ASSERT_EQ(ring.front(), ref.items.front());
+        }
+    }
 }
 
 TEST(clock_domain, period_and_conversions) {

@@ -1094,6 +1094,49 @@ TEST(serve_service, stats_snapshot_carries_cache_and_pool_metrics) {
     EXPECT_EQ(snap.histogram("pool.run_ns")->count(), 2u);
 }
 
+TEST(serve_service, sim_work_counters_deterministic_across_paths_and_threads) {
+    // sim.instructions / sim.big_cycles sum the simulated work behind every
+    // served outcome — cache hits included, buffered or streaming, at any
+    // thread count — so they are part of the deterministic counter set.
+    const std::string batch =
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":1})"
+        "\n"
+        R"({"scenario":"meek/f2/opt/2","workload":"mcf","instructions":5000,"seed":2})"
+        "\n"
+        R"({"scenario":"vanilla","workload":"hmmer","instructions":6000,"seed":1})"
+        "\n";
+
+    u64 expect_instr = 0, expect_cycles = 0;
+    {
+        serve::service svc({.threads = 1});
+        std::istringstream in(batch);
+        std::ostringstream out;
+        svc.serve_stream(in, out, /*framed=*/false);
+        const obs::metrics_snapshot snap = svc.stats_snapshot();
+        ASSERT_NE(snap.counter_value("sim.instructions"), nullptr);
+        ASSERT_NE(snap.counter_value("sim.big_cycles"), nullptr);
+        expect_instr = *snap.counter_value("sim.instructions");
+        expect_cycles = *snap.counter_value("sim.big_cycles");
+        EXPECT_GT(expect_instr, 0u);
+        EXPECT_GT(expect_cycles, 0u);
+    }
+    for (const bool streaming : {false, true}) {
+        serve::service_options opts;
+        opts.threads = 4;
+        opts.streaming = streaming;
+        serve::service svc(opts);
+        std::istringstream in(batch);
+        std::ostringstream out;
+        svc.serve_stream(in, out, /*framed=*/false);
+        const obs::metrics_snapshot snap = svc.stats_snapshot();
+        ASSERT_NE(snap.counter_value("sim.instructions"), nullptr);
+        EXPECT_EQ(*snap.counter_value("sim.instructions"), expect_instr)
+            << "streaming=" << streaming;
+        EXPECT_EQ(*snap.counter_value("sim.big_cycles"), expect_cycles)
+            << "streaming=" << streaming;
+    }
+}
+
 // ---------------------------------------------------------------- tracing ---
 
 // The tracer is process-wide; every tracing test scopes enable/reset so the
